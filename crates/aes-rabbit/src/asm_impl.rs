@@ -1,0 +1,307 @@
+//! AES-128 in hand-optimized Rabbit 2000 assembly — the counterpart of
+//! the "hand-coded assembly version supplied by Rabbit Semiconductor"
+//! that the paper's testbench measured the C port against (§6).
+//!
+//! The hand optimizations are the classic ones for a Z80-family part:
+//!
+//! * 256-byte-aligned S-box and xtime tables so a lookup is two short
+//!   instructions with the table page held in a register;
+//! * SubBytes fused into ShiftRows: one pass over the state per round
+//!   instead of two, fully unrolled with constant addresses;
+//! * AddRoundKey unrolled over all 16 bytes (pointer walk, indexed key);
+//! * MixColumns with register-resident columns, xtime by table, all four
+//!   columns unrolled;
+//! * the key schedule's word loop unrolled;
+//! * no per-statement debugger hooks, everything in root memory.
+//!
+//! The unrolled sequences are generated programmatically below — exactly
+//! how a careful assembly programmer uses an editor macro.
+
+use crypto::gf;
+
+fn db_table(label: &str, values: impl Iterator<Item = u8>) -> String {
+    let vals: Vec<String> = values.map(|v| format!("{v:#04x}")).collect();
+    let mut out = format!("{label}:\n");
+    for chunk in vals.chunks(16) {
+        out.push_str("        db ");
+        out.push_str(&chunk.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+/// One S-box lookup of `Astate+src`, leaving the substituted byte in A.
+/// The aligned form assumes D holds the S-box page (two instructions);
+/// the unaligned form must do full 16-bit address arithmetic — the
+/// ablation that shows why hand optimizers burn 256 bytes of padding on
+/// page alignment.
+fn lookup(src: usize, aligned: bool) -> String {
+    if aligned {
+        format!("        ld a, (Astate+{src})\n        ld e, a\n        ld a, (de)\n")
+    } else {
+        format!(
+            "        ld a, (Astate+{src})\n        ld l, a\n        ld h, 0\n        ld de, Asbox\n        add hl, de\n        ld a, (hl)\n"
+        )
+    }
+}
+
+/// The fused SubBytes+ShiftRows pass, fully unrolled. D must be loaded
+/// with the S-box page by the caller sequence (we do it locally).
+fn subshift(aligned: bool) -> String {
+    let mut s = String::from("subshift:\n");
+    if aligned {
+        s.push_str("        ld d, hi(Asbox)\n");
+    }
+    // Row 0: no rotation, substitute in place.
+    for c in [0usize, 4, 8, 12] {
+        s.push_str(&lookup(c, aligned));
+        s.push_str(&format!("        ld (Astate+{c}), a\n"));
+    }
+    // Row 1: left-rotate by 1 (1 <- 5 <- 9 <- 13 <- 1), substituting.
+    s.push_str(&lookup(1, aligned));
+    s.push_str("        ld b, a\n");
+    for (dst, src) in [(1usize, 5usize), (5, 9), (9, 13)] {
+        s.push_str(&lookup(src, aligned));
+        s.push_str(&format!("        ld (Astate+{dst}), a\n"));
+    }
+    s.push_str("        ld a, b\n        ld (Astate+13), a\n");
+    // Row 2: swap 2<->10 and 6<->14, substituting.
+    for (x, y) in [(2usize, 10usize), (6, 14)] {
+        s.push_str(&lookup(x, aligned));
+        s.push_str("        ld b, a\n");
+        s.push_str(&lookup(y, aligned));
+        s.push_str(&format!("        ld (Astate+{x}), a\n"));
+        s.push_str(&format!("        ld a, b\n        ld (Astate+{y}), a\n"));
+    }
+    // Row 3: right-rotate by 1 (3 <- 15 <- 11 <- 7 <- 3), substituting.
+    s.push_str(&lookup(3, aligned));
+    s.push_str("        ld b, a\n");
+    for (dst, src) in [(3usize, 15usize), (15, 11), (11, 7)] {
+        s.push_str(&lookup(src, aligned));
+        s.push_str(&format!("        ld (Astate+{dst}), a\n"));
+    }
+    s.push_str("        ld a, b\n        ld (Astate+7), a\n");
+    s.push_str("        ret\n");
+    s
+}
+
+/// AddRoundKey, unrolled: state ^= rkeys[IX..IX+16], IX advanced by 16.
+fn ark() -> String {
+    let mut s = String::from("ark:    ld hl, Astate\n");
+    for i in 0..16 {
+        s.push_str(&format!(
+            "        ld a, (hl)\n        xor (ix+{i})\n        ld (hl), a\n"
+        ));
+        if i != 15 {
+            s.push_str("        inc hl\n");
+        }
+    }
+    s.push_str("        ld de, 16\n        add ix, de\n        ret\n");
+    s
+}
+
+/// MixColumns over all four columns, unrolled; IX (round-key cursor) is
+/// preserved, IY walks the state.
+fn mixcols() -> String {
+    let mut s = String::from("mixcols:\n        ld iy, Astate\n        ld h, hi(Axt)\n");
+    for col in 0..4 {
+        let base = col * 4;
+        s.push_str(&format!(
+            "        ld b, (iy+{})\n        ld c, (iy+{})\n        ld d, (iy+{})\n        ld e, (iy+{})\n",
+            base, base + 1, base + 2, base + 3
+        ));
+        // out[r] = xt(a[r] ^ a[r+1]) ^ a[r+1] ^ a[r+2] ^ a[r+3]
+        let regs = ["b", "c", "d", "e"];
+        for r in 0..4 {
+            let a0 = regs[r];
+            let a1 = regs[(r + 1) % 4];
+            let a2 = regs[(r + 2) % 4];
+            let a3 = regs[(r + 3) % 4];
+            s.push_str(&format!(
+                "        ld a, {a0}\n        xor {a1}\n        ld l, a\n        ld a, (hl)\n        xor {a1}\n        xor {a2}\n        xor {a3}\n        ld (iy+{}), a\n",
+                base + r
+            ));
+        }
+    }
+    s.push_str("        ret\n");
+    s
+}
+
+/// Generates the standalone assembly program: expand the key at `Akey`,
+/// encrypt `nblocks` blocks from `Ainput` into `Aoutput`, halt.
+///
+/// # Panics
+///
+/// Panics unless `1 <= nblocks <= 255`.
+pub fn aes128_asm_source(nblocks: usize) -> String {
+    aes128_asm_source_with(nblocks, true)
+}
+
+/// The alignment ablation: the same hand assembly with the S-box at an
+/// *unaligned* address, forcing every lookup through 16-bit address
+/// arithmetic instead of a page-register trick.
+pub fn aes128_asm_source_unaligned(nblocks: usize) -> String {
+    aes128_asm_source_with(nblocks, false)
+}
+
+fn aes128_asm_source_with(nblocks: usize, aligned: bool) -> String {
+    assert!((1..=255).contains(&nblocks), "block count fits a byte");
+    let total = nblocks * 16;
+    // The xtime table stays page-aligned in both variants (the ablation
+    // isolates the S-box); shift it up when the unaligned S-box spills
+    // past its page.
+    let (sbox_org, xt_org) = if aligned {
+        ("0x4800", "0x4900")
+    } else {
+        ("0x4801", "0x4A00")
+    };
+    let sbox = db_table("Asbox", (0..=255u8).map(gf::sbox));
+    let xt = db_table("Axt", (0..=255u8).map(gf::xtime));
+    let subshift = subshift(aligned);
+    let ark = ark();
+    let mixcols = mixcols();
+    // the key schedule's g-word lookups, aligned or not
+    let ks_lookup = |off: i32| -> String {
+        if aligned {
+            format!("        ld e, (iy{off:+})\n        ld a, (de)\n")
+        } else {
+            format!("        ld a, (iy{off:+})\n        ld l, a\n        ld h, 0\n        ld de, Asbox\n        add hl, de\n        ld a, (hl)\n")
+        }
+    };
+    let ks0 = ks_lookup(-3);
+    let ks1 = ks_lookup(-2);
+    let ks2 = ks_lookup(-1);
+    let ks3 = ks_lookup(-4);
+    let ks_page = if aligned {
+        "        ld d, hi(Asbox)\n"
+    } else {
+        ""
+    };
+
+    // Key schedule: words 1..3 of each round, unrolled.
+    let mut ks_tail = String::new();
+    for j in 4..16 {
+        ks_tail.push_str(&format!(
+            "        ld a, (iy+{prev})\n        xor (ix+{j})\n        ld (iy+{j}), a\n",
+            prev = j - 4,
+        ));
+    }
+
+    format!(
+        "; AES-128, hand-optimized for the Rabbit 2000\n\
+        \x20       org 0x4000\n\
+         start:  ld sp, 0xDFF0\n\
+        \x20       call expand\n\
+        \x20       ld hl, Ainput\n\
+        \x20       ld (Asrc), hl\n\
+        \x20       ld hl, Aoutput\n\
+        \x20       ld (Adst), hl\n\
+        \x20       ld a, {nblocks}\n\
+        \x20       ld (Ablk), a\n\
+         blk:    ld hl, (Asrc)\n\
+        \x20       ld de, Astate\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ld (Asrc), hl\n\
+        \x20       call encrypt\n\
+        \x20       ld hl, Astate\n\
+        \x20       ld de, (Adst)\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ld (Adst), de\n\
+        \x20       ld a, (Ablk)\n\
+        \x20       dec a\n\
+        \x20       ld (Ablk), a\n\
+        \x20       jp nz, blk\n\
+         done:   halt\n\
+         \n\
+         ; ---- encrypt Astate under Arkeys -------------------------------\n\
+         encrypt:\n\
+        \x20       ld ix, Arkeys\n\
+        \x20       call ark\n\
+        \x20       ld a, 9\n\
+        \x20       ld (Arnd), a\n\
+         eround: call subshift\n\
+        \x20       call mixcols\n\
+        \x20       call ark\n\
+        \x20       ld a, (Arnd)\n\
+        \x20       dec a\n\
+        \x20       ld (Arnd), a\n\
+        \x20       jp nz, eround\n\
+        \x20       call subshift\n\
+        \x20       call ark\n\
+        \x20       ret\n\
+         \n\
+         ; AddRoundKey, unrolled; advances IX past the round key\n\
+         {ark}\
+         \n\
+         ; SubBytes fused with ShiftRows, one unrolled pass\n\
+         {subshift}\
+         \n\
+         ; MixColumns, columns in B C D E, xtime by table, IY state walk\n\
+         {mixcols}\
+         \n\
+         ; ---- key schedule ----------------------------------------------\n\
+         expand: ld hl, Akey\n\
+        \x20       ld de, Arkeys\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ld a, 1\n\
+        \x20       ld (Arcon), a\n\
+        \x20       ld ix, Arkeys\n\
+        \x20       ld iy, Arkeys+16\n\
+        \x20       ld a, 10\n\
+        \x20       ld (Arnd), a\n\
+         exl:\n\
+         {ks_page}\
+         {ks0}\
+        \x20       push af\n\
+        \x20       ld hl, Arcon\n\
+        \x20       pop af\n\
+        \x20       xor (hl)\n\
+        \x20       xor (ix+0)\n\
+        \x20       ld (iy+0), a\n\
+         {ks1}\
+        \x20       xor (ix+1)\n\
+        \x20       ld (iy+1), a\n\
+         {ks2}\
+        \x20       xor (ix+2)\n\
+        \x20       ld (iy+2), a\n\
+         {ks3}\
+        \x20       xor (ix+3)\n\
+        \x20       ld (iy+3), a\n\
+         {ks_tail}\
+        \x20       ld a, (Arcon)\n\
+        \x20       ld l, a\n\
+        \x20       ld h, hi(Axt)\n\
+        \x20       ld a, (hl)\n\
+        \x20       ld (Arcon), a\n\
+        \x20       ld de, 16\n\
+        \x20       add ix, de\n\
+        \x20       add iy, de\n\
+        \x20       ld a, (Arnd)\n\
+        \x20       dec a\n\
+        \x20       ld (Arnd), a\n\
+        \x20       jp nz, exl\n\
+        \x20       ret\n\
+         \n\
+         ; ---- tables (256-byte aligned) ---------------------------------\n\
+        \x20       org {sbox_org}\n\
+         {sbox}\
+        \x20       org {xt_org}\n\
+         {xt}\
+         \n\
+         ; ---- data -------------------------------------------------------\n\
+        \x20       org 0x8000\n\
+         Akey:   ds 16\n\
+         Astate: ds 16\n\
+         Arcon:  db 0\n\
+         Arnd:   db 0\n\
+         Ablk:   db 0\n\
+         Asrc:   dw 0\n\
+         Adst:   dw 0\n\
+         Arkeys: ds 176\n\
+         Ainput: ds {total}\n\
+         Aoutput: ds {total}\n"
+    )
+}

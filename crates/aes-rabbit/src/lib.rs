@@ -1,0 +1,386 @@
+//! AES-128 on the Rabbit 2000, twice over — the heart of the paper's
+//! evaluation (§6): a direct C port compiled by [`dcc`] under each of the
+//! optimization configurations the authors tried, and a hand-optimized
+//! assembly implementation, both executed on the [`rabbit`] cycle-level
+//! simulator so that speed (cycles/block) and code size can be compared
+//! exactly.
+//!
+//! Both implementations are verified block-for-block against the
+//! host-grade [`crypto`] crate (which is itself pinned to FIPS-197).
+//!
+//! ```
+//! use aes_rabbit::{measure, Implementation};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let key = [0u8; 16];
+//! let blocks = vec![[0x5Au8; 16]];
+//! let asm = measure(&Implementation::HandAsm, &key, &blocks)?;
+//! let c = measure(&Implementation::CompiledC(dcc::Options::baseline()), &key, &blocks)?;
+//! assert_eq!(asm.outputs, c.outputs);
+//! assert!(asm.cycles_per_block < c.cycles_per_block);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm_impl;
+pub mod csource;
+
+use rabbit::{assemble, Cpu, Memory, NullIo};
+
+pub use asm_impl::{aes128_asm_source, aes128_asm_source_unaligned};
+pub use csource::{aes128_c_decrypt_source, aes128_c_source};
+
+/// Which AES implementation to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Implementation {
+    /// The issl-style C port, compiled by `dcc` with the given switches.
+    CompiledC(dcc::Options),
+    /// The hand-optimized assembly implementation.
+    HandAsm,
+    /// The hand assembly with an unaligned S-box (ablation: why hand
+    /// optimizers page-align lookup tables).
+    HandAsmUnaligned,
+}
+
+impl Implementation {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Implementation::HandAsm => "hand assembly".to_string(),
+            Implementation::HandAsmUnaligned => "hand assembly (unaligned sbox)".to_string(),
+            Implementation::CompiledC(o) => {
+                let mut parts = Vec::new();
+                if o.debug {
+                    parts.push("debug");
+                } else {
+                    parts.push("nodebug");
+                }
+                if o.root_data {
+                    parts.push("root");
+                }
+                if o.unroll {
+                    parts.push("unroll");
+                }
+                if o.peephole {
+                    parts.push("peephole");
+                }
+                format!("C ({})", parts.join("+"))
+            }
+        }
+    }
+}
+
+/// Measurement of one implementation over a workload.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Ciphertext blocks produced on the simulated CPU.
+    pub outputs: Vec<[u8; 16]>,
+    /// Total cycles from entry to halt (includes one key expansion).
+    pub cycles_total: u64,
+    /// Cycles per block (total divided by the block count).
+    pub cycles_per_block: u64,
+    /// Program bytes excluding the workload I/O buffers.
+    pub program_bytes: usize,
+}
+
+/// Errors from building or running an implementation.
+#[derive(Debug)]
+pub enum AesRabbitError {
+    /// dcc compilation/assembly failed.
+    Build(String),
+    /// Execution failed (fault or cycle budget).
+    Run(String),
+    /// The simulated output disagrees with the reference cipher.
+    Mismatch {
+        /// Index of the first bad block.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for AesRabbitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AesRabbitError::Build(e) => write!(f, "build failed: {e}"),
+            AesRabbitError::Run(e) => write!(f, "run failed: {e}"),
+            AesRabbitError::Mismatch { block } => {
+                write!(f, "output mismatch at block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AesRabbitError {}
+
+/// Cycle budget per measurement run.
+const MAX_CYCLES: u64 = 20_000_000_000;
+
+fn flatten(blocks: &[[u8; 16]]) -> Vec<u8> {
+    blocks.iter().flatten().copied().collect()
+}
+
+fn unflatten(bytes: &[u8]) -> Vec<[u8; 16]> {
+    bytes
+        .chunks(16)
+        .map(|c| {
+            let mut b = [0u8; 16];
+            b.copy_from_slice(c);
+            b
+        })
+        .collect()
+}
+
+/// Runs `imp` over the workload and measures cycles and size, verifying
+/// every output block against the reference cipher.
+///
+/// # Errors
+///
+/// [`AesRabbitError`] on build failure, runtime fault/budget, or (a bug
+/// in the implementation under test) ciphertext mismatch.
+///
+/// # Panics
+///
+/// Panics when `blocks` is empty.
+pub fn measure(
+    imp: &Implementation,
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+) -> Result<Measurement, AesRabbitError> {
+    assert!(!blocks.is_empty(), "need at least one block");
+    let m = match imp {
+        Implementation::CompiledC(opts) => run_c(*opts, key, blocks)?,
+        Implementation::HandAsm => run_asm(key, blocks, true)?,
+        Implementation::HandAsmUnaligned => run_asm(key, blocks, false)?,
+    };
+    // Verify against the host-grade reference.
+    let reference = crypto::Rijndael::aes(key).expect("16-byte key");
+    for (i, (input, out)) in blocks.iter().zip(&m.outputs).enumerate() {
+        let mut expect = *input;
+        reference.encrypt_block(&mut expect);
+        if expect != *out {
+            return Err(AesRabbitError::Mismatch { block: i });
+        }
+    }
+    Ok(m)
+}
+
+fn run_c(
+    opts: dcc::Options,
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+) -> Result<Measurement, AesRabbitError> {
+    let src = aes128_c_source(blocks.len());
+    let build = dcc::build(&src, opts).map_err(|e| AesRabbitError::Build(e.to_string()))?;
+    let (mut cpu, mut mem) = build.machine();
+    build.write_bytes(&mut mem, "_key", key);
+    build.write_bytes(&mut mem, "_input", &flatten(blocks));
+    build
+        .run_prepared(&mut cpu, &mut mem, MAX_CYCLES)
+        .map_err(|e| AesRabbitError::Run(e.to_string()))?;
+    let out = build.read_bytes(&mem, "_output", blocks.len() * 16);
+    Ok(Measurement {
+        outputs: unflatten(&out),
+        cycles_total: cpu.cycles,
+        cycles_per_block: cpu.cycles / blocks.len() as u64,
+        program_bytes: build.image.size() - 2 * 16 * blocks.len(),
+    })
+}
+
+fn run_asm(
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+    aligned: bool,
+) -> Result<Measurement, AesRabbitError> {
+    let src = if aligned {
+        aes128_asm_source(blocks.len())
+    } else {
+        aes128_asm_source_unaligned(blocks.len())
+    };
+    let image = assemble(&src).map_err(|e| AesRabbitError::Build(e.to_string()))?;
+    let mut mem = Memory::new();
+    for s in &image.sections {
+        mem.load(rmc_phys(s.addr), &s.bytes);
+    }
+    let key_addr = image.symbol("Akey").expect("Akey symbol");
+    let in_addr = image.symbol("Ainput").expect("Ainput symbol");
+    let out_addr = image.symbol("Aoutput").expect("Aoutput symbol");
+    mem.load(rmc_phys(key_addr), key);
+    mem.load(rmc_phys(in_addr), &flatten(blocks));
+
+    let mut cpu = Cpu::new();
+    cpu.mmu.segsize = 0xD8;
+    cpu.mmu.dataseg = 0x78;
+    cpu.mmu.stackseg = 0x78;
+    cpu.regs.pc = 0x4000;
+    cpu.run(&mut mem, &mut NullIo, MAX_CYCLES)
+        .map_err(|e| AesRabbitError::Run(e.to_string()))?;
+    if !cpu.halted {
+        return Err(AesRabbitError::Run("did not halt".into()));
+    }
+    let out = mem.dump(rmc_phys(out_addr), blocks.len() * 16);
+    Ok(Measurement {
+        outputs: unflatten(&out),
+        cycles_total: cpu.cycles,
+        cycles_per_block: cpu.cycles / blocks.len() as u64,
+        program_bytes: image.size() - 2 * 16 * blocks.len(),
+    })
+}
+
+/// The shared logical→physical load mapping (same as `dcc::harness`).
+fn rmc_phys(addr: u16) -> u32 {
+    if addr >= 0xE000 {
+        u32::from(addr) + 0x76 * 0x1000
+    } else if addr >= 0x8000 {
+        u32::from(addr) + 0x78000
+    } else {
+        u32::from(addr)
+    }
+}
+
+/// Runs the compiled-C inverse cipher over ciphertext blocks on the
+/// simulated CPU, returning the recovered plaintext blocks and the
+/// cycle cost.
+///
+/// # Errors
+///
+/// [`AesRabbitError`] on build or runtime failure.
+///
+/// # Panics
+///
+/// Panics when `blocks` is empty.
+pub fn measure_decrypt(
+    opts: dcc::Options,
+    key: &[u8; 16],
+    ciphertext: &[[u8; 16]],
+) -> Result<Measurement, AesRabbitError> {
+    assert!(!ciphertext.is_empty(), "need at least one block");
+    let src = aes128_c_decrypt_source(ciphertext.len());
+    let build = dcc::build(&src, opts).map_err(|e| AesRabbitError::Build(e.to_string()))?;
+    let (mut cpu, mut mem) = build.machine();
+    build.write_bytes(&mut mem, "_key", key);
+    build.write_bytes(&mut mem, "_input", &flatten(ciphertext));
+    build
+        .run_prepared(&mut cpu, &mut mem, MAX_CYCLES)
+        .map_err(|e| AesRabbitError::Run(e.to_string()))?;
+    let out = build.read_bytes(&mem, "_output", ciphertext.len() * 16);
+    let m = Measurement {
+        outputs: unflatten(&out),
+        cycles_total: cpu.cycles,
+        cycles_per_block: cpu.cycles / ciphertext.len() as u64,
+        program_bytes: build.image.size() - 2 * 16 * ciphertext.len(),
+    };
+    // Verify: decrypting the ciphertext must invert the reference cipher.
+    let reference = crypto::Rijndael::aes(key).expect("16-byte key");
+    for (i, (ct, pt)) in ciphertext.iter().zip(&m.outputs).enumerate() {
+        let mut expect = *ct;
+        reference.decrypt_block(&mut expect);
+        if expect != *pt {
+            return Err(AesRabbitError::Mismatch { block: i });
+        }
+    }
+    Ok(m)
+}
+
+/// The workload of the paper's testbench: `n` pseudorandom blocks and a
+/// pseudorandom key, deterministic per seed.
+pub fn testbench_workload(n: usize, seed: u64) -> ([u8; 16], Vec<[u8; 16]>) {
+    let mut prng = crypto::Prng::new(seed);
+    let mut key = [0u8; 16];
+    prng.fill(&mut key);
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = [0u8; 16];
+        prng.fill(&mut b);
+        blocks.push(b);
+    }
+    (key, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_CT: [u8; 16] = [
+        0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4, 0xC5,
+        0x5A,
+    ];
+
+    #[test]
+    fn hand_asm_matches_fips_vector() {
+        // FIPS-197 appendix C.1
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let m = measure(&Implementation::HandAsm, &key, &[block]).expect("runs");
+        assert_eq!(m.outputs[0], FIPS_CT);
+    }
+
+    #[test]
+    fn compiled_c_matches_fips_vector() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let m = measure(
+            &Implementation::CompiledC(dcc::Options::baseline()),
+            &key,
+            &[block],
+        )
+        .expect("runs");
+        assert_eq!(m.outputs[0], FIPS_CT);
+    }
+
+    #[test]
+    fn both_agree_on_random_blocks() {
+        let (key, blocks) = testbench_workload(4, 99);
+        let asm = measure(&Implementation::HandAsm, &key, &blocks).expect("asm");
+        let c = measure(
+            &Implementation::CompiledC(dcc::Options::all_optimizations()),
+            &key,
+            &blocks,
+        )
+        .expect("c");
+        assert_eq!(asm.outputs, c.outputs);
+    }
+
+    #[test]
+    fn unaligned_sbox_ablation_is_correct_but_slower() {
+        let (key, blocks) = testbench_workload(4, 55);
+        let aligned = measure(&Implementation::HandAsm, &key, &blocks).expect("aligned");
+        let unaligned =
+            measure(&Implementation::HandAsmUnaligned, &key, &blocks).expect("unaligned");
+        assert_eq!(aligned.outputs, unaligned.outputs, "same ciphertext");
+        let penalty = unaligned.cycles_per_block as f64 / aligned.cycles_per_block as f64;
+        assert!(
+            penalty > 1.05,
+            "losing page alignment must cost real cycles, got {penalty:.3}x"
+        );
+    }
+
+    #[test]
+    fn compiled_c_decrypt_inverts_encrypt() {
+        let (key, blocks) = testbench_workload(2, 31);
+        // encrypt with the reference, decrypt on the simulated Rabbit
+        let reference = crypto::Rijndael::aes(&key).unwrap();
+        let ct: Vec<[u8; 16]> = blocks
+            .iter()
+            .map(|b| {
+                let mut c = *b;
+                reference.encrypt_block(&mut c);
+                c
+            })
+            .collect();
+        let m = measure_decrypt(dcc::Options::baseline(), &key, &ct).expect("decrypts");
+        assert_eq!(m.outputs, blocks, "round trip through the board cipher");
+    }
+
+    #[test]
+    fn asm_is_an_order_of_magnitude_faster() {
+        let (key, blocks) = testbench_workload(4, 7);
+        let asm = measure(&Implementation::HandAsm, &key, &blocks).expect("asm");
+        let c = measure(
+            &Implementation::CompiledC(dcc::Options::baseline()),
+            &key,
+            &blocks,
+        )
+        .expect("c");
+        let ratio = c.cycles_per_block as f64 / asm.cycles_per_block as f64;
+        assert!(ratio > 10.0, "asm/C ratio {ratio:.1} should exceed 10x");
+    }
+}

@@ -1,0 +1,39 @@
+//! E1 (paper §6): the AES testbench — hand assembly vs the direct C port
+//! on the simulated Rabbit 2000.
+//!
+//! The scientifically meaningful number is simulated **cycles per block**
+//! (printed below, deterministic); Criterion additionally times the
+//! simulator runs themselves.
+
+use aes_rabbit::{measure, testbench_workload, Implementation};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (key, blocks) = testbench_workload(bench::E1_BLOCKS, 0x5EED);
+    let asm = Implementation::HandAsm;
+    let cport = Implementation::CompiledC(dcc::Options::baseline());
+
+    // The paper's table, once, on stdout.
+    let ma = measure(&asm, &key, &blocks).expect("asm runs");
+    let mc = measure(&cport, &key, &blocks).expect("c runs");
+    println!(
+        "\nE1: cycles/block  hand-asm {}  C-port {}  ratio {:.1}x\n",
+        ma.cycles_per_block,
+        mc.cycles_per_block,
+        mc.cycles_per_block as f64 / ma.cycles_per_block as f64
+    );
+
+    let mut g = c.benchmark_group("e1_aes_rabbit");
+    g.sample_size(10);
+    g.bench_function("hand_assembly", |b| {
+        b.iter(|| measure(black_box(&asm), black_box(&key), black_box(&blocks)).expect("runs"))
+    });
+    g.bench_function("c_direct_port", |b| {
+        b.iter(|| measure(black_box(&cport), black_box(&key), black_box(&blocks)).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

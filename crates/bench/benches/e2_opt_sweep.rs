@@ -1,0 +1,43 @@
+//! E2 (paper §6): the optimization sweep over the C port — disabling
+//! debugging, moving data to root memory, loop unrolling, compiler
+//! optimization — "but this only improved run time by perhaps 20%".
+//!
+//! Prints the deterministic cycles/size table, then Criterion-times each
+//! configuration's simulation.
+
+use aes_rabbit::{measure, testbench_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (key, blocks) = testbench_workload(bench::E1_BLOCKS, 0x5EED);
+    let configs = bench::aes_configurations();
+
+    println!("\nE2/E3: optimization sweep");
+    println!(
+        "{:32} {:>14} {:>10}",
+        "configuration", "cycles/block", "bytes"
+    );
+    for (label, imp) in &configs {
+        let m = measure(imp, &key, &blocks).expect("runs");
+        println!(
+            "{:32} {:>14} {:>10}",
+            label, m.cycles_per_block, m.program_bytes
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("e2_opt_sweep");
+    g.sample_size(10);
+    for (label, imp) in configs {
+        let id = label.replace(' ', "_").replace('+', "plus");
+        let blocks = blocks.clone();
+        g.bench_function(id, move |b| {
+            b.iter(|| measure(black_box(&imp), black_box(&key), black_box(&blocks)).expect("runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E4 (paper §2, citing Goldberg et al.): the throughput cost of the
+//! secure channel vs plaintext over the same simulated wire.
+//!
+//! Prints virtual-time throughput (the deterministic result), then
+//! Criterion-times the simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\nE4: plaintext vs issl throughput (virtual time)");
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "bytes/conn", "plain KB/s", "issl KB/s", "ratio"
+    );
+    for (plain, tls) in bench::e4_sweep() {
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>7.1}x",
+            plain.bytes_per_conn,
+            plain.kb_per_sec,
+            tls.kb_per_sec,
+            plain.kb_per_sec / tls.kb_per_sec
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("e4_ssl_overhead");
+    g.sample_size(10);
+    g.bench_function("plain_short_connections", |b| {
+        b.iter(|| bench::e4_run(black_box(false), 128, 4))
+    });
+    g.bench_function("issl_short_connections", |b| {
+        b.iter(|| bench::e4_run(black_box(true), 128, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Arbitrary-precision unsigned integer arithmetic — the
+//! "difficult-to-port bignum package" of *Porting a Network Cryptographic
+//! Service to the RMC2000* (DATE 2003), §2.
+//!
+//! The paper's authors dropped issl's RSA cipher from the embedded port
+//! precisely because this package was "too complicated to rework" for the
+//! Rabbit; the host-side profile of the reproduction keeps RSA, and so
+//! needs the package the paper's port went without.
+//!
+//! Everything RSA requires is here: ring arithmetic, Knuth Algorithm D
+//! division, modular exponentiation, binary GCD, extended-Euclid modular
+//! inverse ([`uint`]) and Miller–Rabin primality testing ([`prime`]).
+//!
+//! ```
+//! use bignum::BigUint;
+//!
+//! let p = BigUint::from_u64(61);
+//! let q = BigUint::from_u64(53);
+//! let n = p.mul(&q);
+//! let e = BigUint::from_u64(17);
+//! let phi = BigUint::from_u64(60 * 52);
+//! let d = e.modinv(&phi).expect("e coprime to phi");
+//! let m = BigUint::from_u64(65);
+//! let c = m.modpow(&e, &n);
+//! assert_eq!(c.modpow(&d, &n), m);
+//! ```
+
+pub mod prime;
+pub mod uint;
+
+pub use prime::{is_probable_prime, miller_rabin};
+pub use uint::BigUint;

@@ -1,0 +1,104 @@
+//! Primality testing: deterministic trial division for small factors plus
+//! Miller–Rabin with a fixed witness set (deterministic below 3.3·10^24,
+//! a strong probabilistic test above).
+
+use crate::uint::BigUint;
+
+/// Small primes used for cheap trial division.
+const SMALL_PRIMES: [u32; 25] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+];
+
+/// The fixed Miller–Rabin witness set.
+const WITNESSES: [u32; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// One Miller–Rabin round with the given base. `n` must be odd and > 2.
+/// Returns false iff `base` witnesses compositeness.
+pub fn miller_rabin(n: &BigUint, base: u32) -> bool {
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // n-1 = d * 2^s with d odd
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let b = BigUint::from_u64(u64::from(base));
+    if b.rem(n).is_zero() {
+        return true; // base divisible by n: no information, not a witness
+    }
+    let mut x = b.modpow(&d, n);
+    if x.is_u32(1) || x == n_minus_1 {
+        return true;
+    }
+    for _ in 0..s - 1 {
+        x = x.mulmod(&x.clone(), n);
+        if x == n_minus_1 {
+            return true;
+        }
+        if x.is_u32(1) {
+            return false;
+        }
+    }
+    false
+}
+
+/// Probabilistic (deterministic below 3.3·10^24) primality test.
+pub fn is_probable_prime(n: &BigUint) -> bool {
+    if n.is_zero() || n.is_u32(1) {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(u64::from(p));
+        if *n == pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    WITNESSES.iter().all(|&w| miller_rabin(n, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn classifies_small_numbers() {
+        let primes = [2u64, 3, 5, 7, 97, 101, 65537, 1_000_000_007];
+        let composites = [0u64, 1, 4, 9, 100, 65536, 1_000_000_008];
+        for p in primes {
+            assert!(is_probable_prime(&big(p)), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_probable_prime(&big(c)), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn rejects_carmichael_numbers() {
+        // Fermat pseudoprimes that Miller-Rabin must catch.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_probable_prime(&big(c)), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn accepts_known_large_primes() {
+        // 2^127 - 1 (Mersenne prime)
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&m127));
+        // 2^89 - 1 (Mersenne prime)
+        let m89 = BigUint::one().shl(89).sub(&BigUint::one());
+        assert!(is_probable_prime(&m89));
+        // 2^128 + 1 is composite (not a Fermat prime)
+        let f = BigUint::one().shl(128).add(&BigUint::one());
+        assert!(!is_probable_prime(&f));
+    }
+}

@@ -1,0 +1,676 @@
+//! Arbitrary-precision unsigned integers with the operations RSA needs:
+//! comparison, ring arithmetic, division with remainder, modular
+//! exponentiation and modular inverse.
+//!
+//! Representation: little-endian `u32` limbs with no trailing zero limb
+//! (zero is the empty limb vector).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds from a `u64`.
+    pub fn from_u64(v: u64) -> BigUint {
+        let mut n = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        n.normalize();
+        n
+    }
+
+    /// Builds from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(4));
+        let mut iter = bytes.rchunks(4);
+        for chunk in iter.by_ref() {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | u32::from(b);
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialises to big-endian bytes, without leading zeros (empty for
+    /// zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Serialises to exactly `len` big-endian bytes, left-padded with
+    /// zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the offending character on non-hex input.
+    pub fn from_hex(s: &str) -> Result<BigUint, char> {
+        let mut bytes = Vec::new();
+        let s = if s.len() % 2 == 1 {
+            format!("0{s}")
+        } else {
+            s.to_string()
+        };
+        let chars: Vec<char> = s.chars().collect();
+        for pair in chars.chunks(2) {
+            let hi = pair[0].to_digit(16).ok_or(pair[0])? as u8;
+            let lo = pair[1].to_digit(16).ok_or(pair[1])? as u8;
+            bytes.push((hi << 4) | lo);
+        }
+        Ok(BigUint::from_bytes_be(&bytes))
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|&l| l & 1 == 1)
+    }
+
+    /// Whether the value equals a small constant.
+    pub fn is_u32(&self, v: u32) -> bool {
+        match v {
+            0 => self.is_zero(),
+            _ => self.limbs.len() == 1 && self.limbs[0] == v,
+        }
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The `i`-th bit (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 32)
+            .is_some_and(|&l| l >> (i % 32) & 1 == 1)
+    }
+
+    /// Truncates to a `u64` (low 64 bits).
+    pub fn low_u64(&self) -> u64 {
+        let lo = self.limbs.first().copied().unwrap_or(0);
+        let hi = self.limbs.get(1).copied().unwrap_or(0);
+        u64::from(lo) | (u64::from(hi) << 32)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Sum.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let mut out = Vec::with_capacity(self.limbs.len().max(other.limbs.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..self.limbs.len().max(other.limbs.len()) {
+            let a = u64::from(self.limbs.get(i).copied().unwrap_or(0));
+            let b = u64::from(other.limbs.get(i).copied().unwrap_or(0));
+            let s = a + b + carry;
+            out.push(s as u32);
+            carry = s >> 32;
+        }
+        if carry > 0 {
+            out.push(carry as u32);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Difference; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self.cmp_ref(other) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let a = i64::from(self.limbs[i]);
+            let b = i64::from(other.limbs.get(i).copied().unwrap_or(0));
+            let mut d = a - b - borrow;
+            if d < 0 {
+                d += 1 << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u32);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] when unsure.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// Product (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = u64::from(a) * u64::from(b) + u64::from(out[i + j]) + carry;
+                out[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let t = u64::from(out[k]) + carry;
+                out[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = src.get(i + 1).map_or(0, |&n| n << (32 - bit_shift));
+                out.push(lo | hi);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    fn cmp_ref(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => continue,
+                o => return o,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Quotient and remainder.
+    ///
+    /// Implements Knuth's Algorithm D on 32-bit limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "BigUint division by zero");
+        match self.cmp_ref(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        // Short division by a single limb.
+        if divisor.limbs.len() == 1 {
+            let d = u64::from(divisor.limbs[0]);
+            let mut rem = 0u64;
+            let mut q = vec![0u32; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 32) | u64::from(self.limbs[i]);
+                q[i] = (cur / d) as u32;
+                rem = cur % d;
+            }
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from_u64(rem));
+        }
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("non-empty").leading_zeros() as usize;
+        let u = self.shl(shift);
+        let v = divisor.shl(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+        let mut un = u.limbs.clone();
+        un.push(0);
+        let vn = &v.limbs;
+        let mut q = vec![0u32; m + 1];
+        let b = 1u64 << 32;
+
+        for j in (0..=m).rev() {
+            let top = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
+            let mut qhat = top / u64::from(vn[n - 1]);
+            let mut rhat = top % u64::from(vn[n - 1]);
+            while qhat >= b || qhat * u64::from(vn[n - 2]) > (rhat << 32) + u64::from(un[j + n - 2])
+            {
+                qhat -= 1;
+                rhat += u64::from(vn[n - 1]);
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract.
+            let mut borrow = 0i64;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let p = qhat * u64::from(vn[i]) + carry;
+                carry = p >> 32;
+                let t = i64::from(un[i + j]) - borrow - i64::from(p as u32);
+                un[i + j] = t as u32;
+                borrow = i64::from(t < 0);
+            }
+            let t = i64::from(un[j + n]) - borrow - carry as i64;
+            un[j + n] = t as u32;
+
+            if t < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u64;
+                for i in 0..n {
+                    let s = u64::from(un[i + j]) + u64::from(vn[i]) + carry;
+                    un[i + j] = s as u32;
+                    carry = s >> 32;
+                }
+                un[j + n] = (u64::from(un[j + n]) + carry) as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint {
+            limbs: un[..n].to_vec(),
+        };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// Remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular multiplication.
+    pub fn mulmod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation by square-and-multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_u32(1) {
+            return BigUint::zero();
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = result.mulmod(&base, modulus);
+            }
+            base = base.mulmod(&base, modulus);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let mut shift = 0;
+        while !a.is_odd() && !b.is_odd() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while !a.is_odd() {
+            a = a.shr(1);
+        }
+        loop {
+            while !b.is_odd() {
+                b = b.shr(1);
+            }
+            if a.cmp_ref(&b) == Ordering::Greater {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                return a.shl(shift);
+            }
+        }
+    }
+
+    /// Modular inverse: the `x` with `self * x ≡ 1 (mod modulus)`, or
+    /// `None` when `gcd(self, modulus) != 1`.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        // Extended Euclid with explicit signs.
+        let mut r0 = modulus.clone();
+        let mut r1 = self.rem(modulus);
+        // t coefficients as (negative?, magnitude)
+        let mut t0 = (false, BigUint::zero());
+        let mut t1 = (false, BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.div_rem(&r1);
+            // t2 = t0 - q*t1
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(t0.clone(), (t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if !r0.is_u32(1) {
+            return None;
+        }
+        let (neg, mag) = t0;
+        let mag = mag.rem(modulus);
+        Some(if neg && !mag.is_zero() {
+            modulus.sub(&mag)
+        } else {
+            mag
+        })
+    }
+}
+
+/// Computes `a - b` on sign-magnitude pairs.
+fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both positive
+        (false, false) => match a.1.checked_sub(&b.1) {
+            Some(m) => (false, m),
+            None => (true, b.1.sub(&a.1)),
+        },
+        // a - (-b) = a + b
+        (false, true) => (false, a.1.add(&b.1)),
+        // -a - b = -(a+b)
+        (true, false) => (true, a.1.add(&b.1)),
+        // -a - (-b) = b - a
+        (true, true) => match b.1.checked_sub(&a.1) {
+            Some(m) => (false, m),
+            None => (true, a.1.sub(&b.1)),
+        },
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &BigUint) -> Ordering {
+        self.cmp_ref(other)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &BigUint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^9.
+        let chunk = BigUint::from_u64(1_000_000_000);
+        let mut digits: Vec<String> = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem(&chunk);
+            digits.push(r.low_u64().to_string());
+            n = q;
+        }
+        let mut out = String::new();
+        out.push_str(&digits.pop().expect("non-zero has digits"));
+        for d in digits.iter().rev() {
+            out.push_str(&format!("{:09}", d.parse::<u64>().expect("chunk fits")));
+        }
+        write!(f, "{out}")
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for &l in self.limbs.iter().rev() {
+            if first {
+                write!(f, "{l:x}")?;
+                first = false;
+            } else {
+                write!(f, "{l:08x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn round_trips_bytes() {
+        let n = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9A]);
+        assert_eq!(n.to_bytes_be(), vec![0x12, 0x34, 0x56, 0x78, 0x9A]);
+        assert_eq!(n.to_bytes_be_padded(8)[..3], [0, 0, 0]);
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(big(0).to_string(), "0");
+        assert_eq!(big(1_234_567_890_123).to_string(), "1234567890123");
+        let n = big(u64::MAX).mul(&big(u64::MAX));
+        assert_eq!(n.to_string(), "340282366920938463426481119284349108225");
+    }
+
+    #[test]
+    fn hex_parse_and_format() {
+        let n = BigUint::from_hex("deadbeefcafebabe1234").unwrap();
+        assert_eq!(format!("{n:x}"), "deadbeefcafebabe1234");
+        assert!(BigUint::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn arithmetic_small() {
+        assert_eq!(big(2).add(&big(3)), big(5));
+        assert_eq!(big(10).sub(&big(4)), big(6));
+        assert_eq!(big(7).mul(&big(6)), big(42));
+        assert_eq!(big(5).checked_sub(&big(9)), None);
+    }
+
+    #[test]
+    fn division_matches_u128_oracle() {
+        let cases: [(u128, u128); 6] = [
+            (12345678901234567890, 97),
+            (u128::from(u64::MAX) * 7 + 3, u128::from(u64::MAX)),
+            (1 << 100, (1 << 50) + 1),
+            (999999999999999999, 1000000007),
+            (1, 2),
+            (u128::MAX / 3, 0xFFFF_FFFF),
+        ];
+        for (a, b) in cases {
+            let abytes = a.to_be_bytes();
+            let bbytes = b.to_be_bytes();
+            let an = BigUint::from_bytes_be(&abytes);
+            let bn = BigUint::from_bytes_be(&bbytes);
+            let (q, r) = an.div_rem(&bn);
+            assert_eq!(
+                q.low_u64() as u128 | ((q.shr(64).low_u64() as u128) << 64),
+                a / b
+            );
+            assert_eq!(
+                r.low_u64() as u128 | ((r.shr(64).low_u64() as u128) << 64),
+                a % b
+            );
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let n = big(0b1011);
+        assert_eq!(n.shl(4), big(0b1011_0000));
+        assert_eq!(n.shl(64).shr(64), n);
+        assert_eq!(n.shr(10), BigUint::zero());
+        assert_eq!(n.bits(), 4);
+        assert!(n.bit(0) && n.bit(1) && !n.bit(2) && n.bit(3));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) ≡ 1 mod p for prime p
+        let p = big(1_000_000_007);
+        let r = big(2).modpow(&big(1_000_000_006), &p);
+        assert_eq!(r, big(1));
+        // small sanity: 3^4 mod 5 = 1
+        assert_eq!(big(3).modpow(&big(4), &big(5)), big(1));
+    }
+
+    #[test]
+    fn modpow_large_numbers() {
+        // (2^200)^3 mod (2^199 + 1) computed two ways
+        let base = BigUint::one().shl(200);
+        let m = BigUint::one().shl(199).add(&BigUint::one());
+        let direct = base.mul(&base).mul(&base).rem(&m);
+        assert_eq!(base.modpow(&big(3), &m), direct);
+    }
+
+    #[test]
+    fn gcd_and_modinv() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(31)), big(1));
+        let inv = big(3).modinv(&big(11)).unwrap();
+        assert_eq!(inv, big(4)); // 3*4 = 12 ≡ 1 mod 11
+        assert_eq!(big(6).modinv(&big(9)), None); // gcd 3
+                                                  // large: e=65537 modulo a known phi
+        let phi = big(3220).mul(&big(4292870399));
+        let e = big(65537);
+        if let Some(d) = e.modinv(&phi) {
+            assert_eq!(e.mulmod(&d, &phi), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big(5) < big(6));
+        assert!(BigUint::one().shl(100) > big(u64::MAX));
+    }
+}

@@ -1,0 +1,104 @@
+//! Algebraic-law property tests for `BigUint` against `u128` oracles.
+
+use bignum::BigUint;
+use proptest::prelude::*;
+
+fn to_u128(n: &BigUint) -> u128 {
+    let bytes = n.to_bytes_be();
+    assert!(bytes.len() <= 16, "fits u128");
+    let mut out = [0u8; 16];
+    out[16 - bytes.len()..].copy_from_slice(&bytes);
+    u128::from_be_bytes(out)
+}
+
+fn from_u128(v: u128) -> BigUint {
+    BigUint::from_bytes_be(&v.to_be_bytes())
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        prop_assert_eq!(to_u128(&from_u128(a).add(&from_u128(b))), a + b);
+    }
+
+    #[test]
+    fn sub_matches_u128(a: u128, b: u128) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(to_u128(&from_u128(hi).sub(&from_u128(lo))), hi - lo);
+        if hi != lo {
+            prop_assert_eq!(from_u128(lo).checked_sub(&from_u128(hi)), None);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..(1 << 64), b in 0u128..(1 << 64)) {
+        prop_assert_eq!(to_u128(&from_u128(a).mul(&from_u128(b))), a * b);
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a: u128, b in 1u128..u128::MAX) {
+        let (q, r) = from_u128(a).div_rem(&from_u128(b));
+        prop_assert_eq!(to_u128(&q), a / b);
+        prop_assert_eq!(to_u128(&r), a % b);
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a: u128, b in 1u128..u128::MAX) {
+        let an = from_u128(a);
+        let bn = from_u128(b);
+        let (q, r) = an.div_rem(&bn);
+        prop_assert_eq!(q.mul(&bn).add(&r), an);
+        prop_assert!(r < bn);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in 0u128..(1 << 60), b in 0u128..(1 << 60), c in 0u128..(1 << 60)) {
+        let (an, bn, cn) = (from_u128(a), from_u128(b), from_u128(c));
+        prop_assert_eq!(
+            an.mul(&bn.add(&cn)),
+            an.mul(&bn).add(&an.mul(&cn))
+        );
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a: u128, s in 0usize..40) {
+        let n = from_u128(a);
+        prop_assert_eq!(n.shl(s), n.mul(&BigUint::one().shl(s)));
+        prop_assert_eq!(n.shr(s), n.div_rem(&BigUint::one().shl(s)).0);
+    }
+
+    #[test]
+    fn modpow_matches_naive(base in 0u64..1000, exp in 0u64..64, m in 2u64..10_000) {
+        let expected = {
+            let mut acc: u128 = 1;
+            for _ in 0..exp {
+                acc = acc * u128::from(base) % u128::from(m);
+            }
+            acc
+        };
+        let got = BigUint::from_u64(base).modpow(
+            &BigUint::from_u64(exp),
+            &BigUint::from_u64(m),
+        );
+        prop_assert_eq!(to_u128(&got), expected);
+    }
+
+    #[test]
+    fn modinv_is_inverse(a in 1u64..100_000, m in 2u64..100_000) {
+        let an = BigUint::from_u64(a);
+        let mn = BigUint::from_u64(m);
+        match an.modinv(&mn) {
+            Some(inv) => {
+                prop_assert_eq!(an.mulmod(&inv, &mn), BigUint::one().rem(&mn));
+            }
+            None => {
+                prop_assert!(!an.gcd(&mn).is_u32(1));
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip(a: u128) {
+        prop_assert_eq!(to_u128(&from_u128(a)), a);
+    }
+}

@@ -1,0 +1,138 @@
+//! A miniature in-memory filesystem for the Unix host profile.
+//!
+//! The paper's §5 calls the filesystem assumption out twice: issl "makes
+//! some use of a filesystem, something not provided by the RMC2000
+//! environment", and server code assumes "a filesystem with nearly
+//! unlimited capacity (e.g., for keeping a log)". The host profile uses
+//! this module for its key-hash file and its append-only log; the RMC
+//! profile has **no** filesystem at all — its workarounds live in
+//! [`crate::log::CircularLog`] and in compiled-in constants.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Filesystem errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A shared in-memory filesystem; clones alias the same tree.
+#[derive(Debug, Clone, Default)]
+pub struct Filesystem {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl Filesystem {
+    /// An empty filesystem.
+    pub fn new() -> Filesystem {
+        Filesystem::default()
+    }
+
+    /// Writes (creating or truncating) a file.
+    pub fn write(&self, path: &str, data: &[u8]) {
+        self.files
+            .lock()
+            .expect("fs lock")
+            .insert(path.to_string(), data.to_vec());
+    }
+
+    /// Appends to a file, creating it if needed.
+    pub fn append(&self, path: &str, data: &[u8]) {
+        self.files
+            .lock()
+            .expect("fs lock")
+            .entry(path.to_string())
+            .or_default()
+            .extend_from_slice(data);
+    }
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`].
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, FsError> {
+        self.files
+            .lock()
+            .expect("fs lock")
+            .get(path)
+            .cloned()
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Whether a path exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().expect("fs lock").contains_key(path)
+    }
+
+    /// Size of a file in bytes (0 if missing).
+    pub fn size(&self, path: &str) -> usize {
+        self.files
+            .lock()
+            .expect("fs lock")
+            .get(path)
+            .map_or(0, Vec::len)
+    }
+
+    /// Lists all paths.
+    pub fn list(&self) -> Vec<String> {
+        self.files
+            .lock()
+            .expect("fs lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let fs = Filesystem::new();
+        fs.write("/etc/issl/key.hash", b"abc123");
+        assert_eq!(fs.read("/etc/issl/key.hash").unwrap(), b"abc123");
+        assert!(fs.exists("/etc/issl/key.hash"));
+        assert!(!fs.exists("/etc/shadow"));
+    }
+
+    #[test]
+    fn append_grows_without_bound() {
+        let fs = Filesystem::new();
+        for _ in 0..100 {
+            fs.append("/var/log/issl.log", b"entry\n");
+        }
+        assert_eq!(fs.size("/var/log/issl.log"), 600);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let fs = Filesystem::new();
+        assert_eq!(
+            fs.read("/nope"),
+            Err(FsError::NotFound("/nope".to_string()))
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fs = Filesystem::new();
+        let fs2 = fs.clone();
+        fs.write("/a", b"1");
+        assert!(fs2.exists("/a"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Key derivation for issl sessions: an HMAC-SHA1 expansion of the
+//! (pre)master secret and handshake nonces into directional cipher and
+//! MAC keys.
+
+use crypto::hmac_sha1;
+
+/// Derives the 20-byte master secret from the premaster secret and the
+/// two handshake nonces.
+pub fn master_secret(premaster: &[u8], client_nonce: &[u8], server_nonce: &[u8]) -> [u8; 20] {
+    let mut seed = Vec::with_capacity(6 + client_nonce.len() + server_nonce.len());
+    seed.extend_from_slice(b"master");
+    seed.extend_from_slice(client_nonce);
+    seed.extend_from_slice(server_nonce);
+    hmac_sha1(premaster, &seed)
+}
+
+/// Expands the master secret into `len` bytes of key material.
+pub fn key_block(master: &[u8], client_nonce: &[u8], server_nonce: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 20);
+    let mut counter = 0u8;
+    while out.len() < len {
+        let mut seed = Vec::with_capacity(14 + client_nonce.len() + server_nonce.len());
+        seed.push(counter);
+        seed.extend_from_slice(b"key expansion");
+        seed.extend_from_slice(client_nonce);
+        seed.extend_from_slice(server_nonce);
+        out.extend_from_slice(&hmac_sha1(master, &seed));
+        counter = counter.wrapping_add(1);
+    }
+    out.truncate(len);
+    out
+}
+
+/// The directional keys carved out of a key block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionKeys {
+    /// Client-to-server cipher key.
+    pub client_write_key: Vec<u8>,
+    /// Server-to-client cipher key.
+    pub server_write_key: Vec<u8>,
+    /// Client-to-server MAC key (20 bytes).
+    pub client_mac_key: Vec<u8>,
+    /// Server-to-client MAC key (20 bytes).
+    pub server_mac_key: Vec<u8>,
+}
+
+/// Splits a key block into session keys for the given cipher-key length.
+pub fn derive_session_keys(
+    premaster: &[u8],
+    client_nonce: &[u8],
+    server_nonce: &[u8],
+    key_len: usize,
+) -> SessionKeys {
+    let master = master_secret(premaster, client_nonce, server_nonce);
+    let block = key_block(&master, client_nonce, server_nonce, key_len * 2 + 40);
+    SessionKeys {
+        client_write_key: block[..key_len].to_vec(),
+        server_write_key: block[key_len..2 * key_len].to_vec(),
+        client_mac_key: block[2 * key_len..2 * key_len + 20].to_vec(),
+        server_mac_key: block[2 * key_len + 20..2 * key_len + 40].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = derive_session_keys(b"secret", b"cn", b"sn", 16);
+        let b = derive_session_keys(b"secret", b"cn", b"sn", 16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_input_change_changes_all_keys() {
+        let base = derive_session_keys(b"secret", b"cn", b"sn", 16);
+        for variant in [
+            derive_session_keys(b"secreT", b"cn", b"sn", 16),
+            derive_session_keys(b"secret", b"cN", b"sn", 16),
+            derive_session_keys(b"secret", b"cn", b"sN", 16),
+        ] {
+            assert_ne!(base.client_write_key, variant.client_write_key);
+            assert_ne!(base.server_mac_key, variant.server_mac_key);
+        }
+    }
+
+    #[test]
+    fn directional_keys_differ() {
+        let k = derive_session_keys(b"secret", b"cn", b"sn", 32);
+        assert_ne!(k.client_write_key, k.server_write_key);
+        assert_ne!(k.client_mac_key, k.server_mac_key);
+        assert_eq!(k.client_write_key.len(), 32);
+        assert_eq!(k.client_mac_key.len(), 20);
+    }
+
+    #[test]
+    fn key_block_extends_to_any_length() {
+        let kb = key_block(b"m", b"c", b"s", 173);
+        assert_eq!(kb.len(), 173);
+        // prefix property
+        let kb2 = key_block(b"m", b"c", b"s", 60);
+        assert_eq!(&kb[..60], &kb2[..]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Logging, two ways — the paper's third class of porting problem (§5):
+//! "The solutions to such problems are either to remove the offending
+//! functionality at the expense of features (e.g., remove logging
+//! altogether), or a serious reworking of the code (e.g., to make logging
+//! write to a circular buffer rather than a file)."
+//!
+//! [`FileLog`] is the host-side unbounded append-to-file logger;
+//! [`CircularLog`] is the reworked embedded logger with a fixed-capacity
+//! ring, as the port chose.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use crate::fs::Filesystem;
+
+/// Something log lines can be written to.
+pub trait Log {
+    /// Records one line.
+    fn log(&self, line: &str);
+
+    /// Returns the currently retained lines, oldest first.
+    fn lines(&self) -> Vec<String>;
+}
+
+/// Unbounded logging to a file — fine on a workstation, fatal on a
+/// 128 KiB board.
+#[derive(Debug, Clone)]
+pub struct FileLog {
+    fs: Filesystem,
+    path: String,
+}
+
+impl FileLog {
+    /// Creates a logger appending to `path` on `fs`.
+    pub fn new(fs: Filesystem, path: &str) -> FileLog {
+        FileLog {
+            fs,
+            path: path.to_string(),
+        }
+    }
+
+    /// Bytes currently consumed on the filesystem.
+    pub fn bytes(&self) -> usize {
+        self.fs.size(&self.path)
+    }
+}
+
+impl Log for FileLog {
+    fn log(&self, line: &str) {
+        self.fs.append(&self.path, line.as_bytes());
+        self.fs.append(&self.path, b"\n");
+    }
+
+    fn lines(&self) -> Vec<String> {
+        match self.fs.read(&self.path) {
+            Ok(data) => String::from_utf8_lossy(&data)
+                .lines()
+                .map(str::to_string)
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
+/// The embedded rework: a fixed-capacity ring of log lines. Memory use is
+/// bounded forever; old entries fall off the front.
+#[derive(Debug, Clone)]
+pub struct CircularLog {
+    inner: Arc<Mutex<CircularInner>>,
+}
+
+#[derive(Debug)]
+struct CircularInner {
+    lines: VecDeque<String>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl CircularLog {
+    /// Creates a ring holding at most `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> CircularLog {
+        assert!(capacity > 0, "a zero-capacity log is no log at all");
+        CircularLog {
+            inner: Arc::new(Mutex::new(CircularInner {
+                lines: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Lines evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("log lock").dropped
+    }
+
+    /// Maximum retained lines.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("log lock").capacity
+    }
+}
+
+impl Log for CircularLog {
+    fn log(&self, line: &str) {
+        let mut inner = self.inner.lock().expect("log lock");
+        if inner.lines.len() == inner.capacity {
+            inner.lines.pop_front();
+            inner.dropped += 1;
+        }
+        inner.lines.push_back(line.to_string());
+    }
+
+    fn lines(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("log lock")
+            .lines
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_log_grows_without_bound() {
+        let fs = Filesystem::new();
+        let log = FileLog::new(fs, "/var/log/issl.log");
+        for i in 0..1000 {
+            log.log(&format!("session {i}"));
+        }
+        assert_eq!(log.lines().len(), 1000);
+        assert!(log.bytes() > 10_000);
+    }
+
+    #[test]
+    fn circular_log_is_bounded() {
+        let log = CircularLog::new(8);
+        for i in 0..100 {
+            log.log(&format!("session {i}"));
+        }
+        let lines = log.lines();
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "session 92");
+        assert_eq!(lines[7], "session 99");
+        assert_eq!(log.dropped(), 92);
+    }
+
+    #[test]
+    fn circular_log_under_capacity_keeps_everything() {
+        let log = CircularLog::new(10);
+        log.log("a");
+        log.log("b");
+        assert_eq!(log.lines(), vec!["a", "b"]);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = CircularLog::new(0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The issl record layer: type-length-value framing over a [`Wire`],
+//! with encrypted records carrying `IV || CBC(payload) || HMAC`.
+
+use crate::wire::{Wire, WireError};
+
+/// Record content types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordType {
+    /// Client hello: nonce + offered cipher geometry.
+    ClientHello,
+    /// Server hello: nonce + (host profile) RSA public key.
+    ServerHello,
+    /// RSA-encrypted premaster secret.
+    KeyExchange,
+    /// Handshake-transcript MAC.
+    Finished,
+    /// Application data.
+    Data,
+    /// Fatal alert / orderly close.
+    Alert,
+}
+
+impl RecordType {
+    fn to_byte(self) -> u8 {
+        match self {
+            RecordType::ClientHello => 1,
+            RecordType::ServerHello => 2,
+            RecordType::KeyExchange => 3,
+            RecordType::Finished => 4,
+            RecordType::Data => 5,
+            RecordType::Alert => 6,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<RecordType> {
+        Some(match b {
+            1 => RecordType::ClientHello,
+            2 => RecordType::ServerHello,
+            3 => RecordType::KeyExchange,
+            4 => RecordType::Finished,
+            5 => RecordType::Data,
+            6 => RecordType::Alert,
+            _ => return None,
+        })
+    }
+}
+
+/// Largest record body accepted. The embedded profile statically
+/// allocates buffers of exactly this size (§5.2: no `malloc`).
+pub const MAX_RECORD: usize = 2048;
+
+/// Record-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Transport failed underneath.
+    Wire(WireError),
+    /// Unknown record type byte.
+    BadType(u8),
+    /// Record body exceeds [`MAX_RECORD`].
+    TooLong(usize),
+    /// Clean end of stream between records.
+    Eof,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Wire(e) => write!(f, "transport: {e}"),
+            RecordError::BadType(b) => write!(f, "unknown record type {b:#04x}"),
+            RecordError::TooLong(n) => write!(f, "record of {n} bytes exceeds {MAX_RECORD}"),
+            RecordError::Eof => write!(f, "end of stream"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<WireError> for RecordError {
+    fn from(e: WireError) -> RecordError {
+        RecordError::Wire(e)
+    }
+}
+
+/// A parsed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub kind: RecordType,
+    /// Raw body (plaintext for handshake records, ciphertext for data).
+    pub body: Vec<u8>,
+}
+
+/// Writes a record: `[type:1][len:2 BE][body]`.
+///
+/// # Errors
+///
+/// [`RecordError::TooLong`] or a transport failure.
+pub fn write_record<W: Wire + ?Sized>(
+    wire: &mut W,
+    kind: RecordType,
+    body: &[u8],
+) -> Result<(), RecordError> {
+    if body.len() > MAX_RECORD {
+        return Err(RecordError::TooLong(body.len()));
+    }
+    let mut frame = Vec::with_capacity(3 + body.len());
+    frame.push(kind.to_byte());
+    frame.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    frame.extend_from_slice(body);
+    wire.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one record.
+///
+/// # Errors
+///
+/// [`RecordError::Eof`] on a clean end of stream before the first header
+/// byte; other variants on malformed or truncated frames.
+pub fn read_record<W: Wire + ?Sized>(wire: &mut W) -> Result<Record, RecordError> {
+    let mut header = [0u8; 3];
+    // First byte may hit EOF cleanly.
+    let n = wire.read(&mut header[..1])?;
+    if n == 0 {
+        return Err(RecordError::Eof);
+    }
+    wire.read_exact(&mut header[1..])?;
+    let kind = RecordType::from_byte(header[0]).ok_or(RecordError::BadType(header[0]))?;
+    let len = usize::from(u16::from_be_bytes([header[1], header[2]]));
+    if len > MAX_RECORD {
+        return Err(RecordError::TooLong(len));
+    }
+    let mut body = vec![0u8; len];
+    wire.read_exact(&mut body)?;
+    Ok(Record { kind, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::PipePair;
+
+    #[test]
+    fn record_round_trip() {
+        let cell = PipePair::new();
+        let (mut a, mut b) = PipePair::ends(&cell);
+        write_record(&mut a, RecordType::Data, b"payload").unwrap();
+        let r = read_record(&mut b).unwrap();
+        assert_eq!(r.kind, RecordType::Data);
+        assert_eq!(r.body, b"payload");
+    }
+
+    #[test]
+    fn empty_body_is_fine() {
+        let cell = PipePair::new();
+        let (mut a, mut b) = PipePair::ends(&cell);
+        write_record(&mut a, RecordType::Alert, &[]).unwrap();
+        let r = read_record(&mut b).unwrap();
+        assert_eq!(r.kind, RecordType::Alert);
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_record_rejected_on_write() {
+        let cell = PipePair::new();
+        let (mut a, _b) = PipePair::ends(&cell);
+        let big = vec![0u8; MAX_RECORD + 1];
+        assert_eq!(
+            write_record(&mut a, RecordType::Data, &big),
+            Err(RecordError::TooLong(MAX_RECORD + 1))
+        );
+    }
+
+    #[test]
+    fn bad_type_byte_rejected() {
+        let cell = PipePair::new();
+        let (mut a, mut b) = PipePair::ends(&cell);
+        a.write_all(&[0x99, 0, 0]).unwrap();
+        assert_eq!(read_record(&mut b), Err(RecordError::BadType(0x99)));
+    }
+
+    #[test]
+    fn multiple_records_in_sequence() {
+        let cell = PipePair::new();
+        let (mut a, mut b) = PipePair::ends(&cell);
+        write_record(&mut a, RecordType::ClientHello, b"one").unwrap();
+        write_record(&mut a, RecordType::Data, b"two").unwrap();
+        assert_eq!(read_record(&mut b).unwrap().body, b"one");
+        assert_eq!(read_record(&mut b).unwrap().body, b"two");
+    }
+}

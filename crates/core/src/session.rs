@@ -1,0 +1,526 @@
+//! Secure sessions: the issl handshake and the `secure_read` /
+//! `secure_write` data path (§2: "the issl API allows a user to bind to
+//! the socket and then do secure read/writes on it").
+//!
+//! Two key-exchange modes reflect the two profiles of the case study:
+//!
+//! * [`ServerKx::Rsa`] — the full host-side handshake: the server sends
+//!   its RSA public key, the client returns an RSA-encrypted premaster
+//!   secret.
+//! * [`ServerKx::PreShared`] — the RMC2000 port's degenerate handshake:
+//!   RSA was dropped with its bignum package, so both ends derive session
+//!   keys from a pre-shared secret plus fresh nonces.
+
+use std::collections::VecDeque;
+
+use crypto::{cbc_decrypt, cbc_encrypt, hmac_sha1, sha1, verify_hmac_sha1, Prng, Rijndael, Size};
+use rsa::{KeyPair, PublicKey};
+
+use crate::kdf::derive_session_keys;
+use crate::record::{read_record, write_record, RecordError, RecordType, MAX_RECORD};
+use crate::wire::Wire;
+
+/// Cipher geometry negotiated in the hello exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CipherSuite {
+    /// Rijndael key size.
+    pub key: Size,
+    /// Rijndael block size.
+    pub block: Size,
+}
+
+impl CipherSuite {
+    /// AES-128 with 128-bit blocks — the only suite the RMC2000 port
+    /// kept.
+    pub const AES128: CipherSuite = CipherSuite {
+        key: Size::Bits128,
+        block: Size::Bits128,
+    };
+}
+
+/// Session-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsslError {
+    /// Record-layer failure.
+    Record(RecordError),
+    /// MAC verification failed (tampering or key mismatch).
+    BadMac,
+    /// Malformed or out-of-order handshake message.
+    Handshake(&'static str),
+    /// The peer offered a suite this endpoint does not support (the RMC
+    /// profile rejects everything but AES-128/128).
+    UnsupportedSuite,
+    /// RSA failure during key exchange.
+    Rsa,
+    /// Decryption produced garbage (bad padding).
+    Corrupt,
+    /// Peer sent a fatal alert.
+    PeerAlert,
+}
+
+impl std::fmt::Display for IsslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsslError::Record(e) => write!(f, "record layer: {e}"),
+            IsslError::BadMac => write!(f, "record MAC verification failed"),
+            IsslError::Handshake(m) => write!(f, "handshake: {m}"),
+            IsslError::UnsupportedSuite => write!(f, "unsupported cipher suite"),
+            IsslError::Rsa => write!(f, "rsa key exchange failed"),
+            IsslError::Corrupt => write!(f, "record decryption failed"),
+            IsslError::PeerAlert => write!(f, "peer sent a fatal alert"),
+        }
+    }
+}
+
+impl std::error::Error for IsslError {}
+
+impl From<RecordError> for IsslError {
+    fn from(e: RecordError) -> IsslError {
+        IsslError::Record(e)
+    }
+}
+
+/// Client-side key-exchange configuration.
+#[derive(Debug, Clone)]
+pub enum ClientKx {
+    /// Expect an RSA public key in the server hello.
+    Rsa,
+    /// Use a pre-shared secret (the embedded port's mode).
+    PreShared(Vec<u8>),
+}
+
+/// Server-side key-exchange configuration.
+#[derive(Clone)]
+pub enum ServerKx {
+    /// Offer this RSA key pair.
+    Rsa(KeyPair),
+    /// Use a pre-shared secret.
+    PreShared(Vec<u8>),
+}
+
+impl std::fmt::Debug for ServerKx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerKx::Rsa(_) => write!(f, "ServerKx::Rsa(..)"),
+            ServerKx::PreShared(_) => write!(f, "ServerKx::PreShared(..)"),
+        }
+    }
+}
+
+/// Server policy: which suites to accept.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Accepted suites, in preference order.
+    pub suites: Vec<CipherSuite>,
+    /// Key exchange mode.
+    pub kx: ServerKx,
+}
+
+/// Client policy: the suite to offer.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Offered suite.
+    pub suite: CipherSuite,
+    /// Key exchange mode.
+    pub kx: ClientKx,
+}
+
+const NONCE_LEN: usize = 16;
+const PREMASTER_LEN: usize = 32;
+/// Payload carried per data record (fits [`MAX_RECORD`] with IV and MAC).
+const FRAGMENT: usize = 1024;
+
+/// An established secure channel over a [`Wire`].
+pub struct Session<W: Wire> {
+    wire: W,
+    enc: Rijndael,
+    dec: Rijndael,
+    mac_out: Vec<u8>,
+    mac_in: Vec<u8>,
+    block_len: usize,
+    seq_out: u64,
+    seq_in: u64,
+    prng: Prng,
+    peer_closed: bool,
+    plain_buf: VecDeque<u8>,
+}
+
+fn suite_to_bytes(s: CipherSuite) -> [u8; 2] {
+    [s.key.words() as u8, s.block.words() as u8]
+}
+
+fn suite_from_bytes(b: &[u8]) -> Option<CipherSuite> {
+    let key = match b.first()? {
+        4 => Size::Bits128,
+        6 => Size::Bits192,
+        8 => Size::Bits256,
+        _ => return None,
+    };
+    let block = match b.get(1)? {
+        4 => Size::Bits128,
+        6 => Size::Bits192,
+        8 => Size::Bits256,
+        _ => return None,
+    };
+    Some(CipherSuite { key, block })
+}
+
+impl<W: Wire> Session<W> {
+    /// Runs the client side of the handshake and returns the session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`IsslError`]: transport failure, malformed messages, MAC
+    /// mismatch in `Finished`, or an alert from a server that rejected
+    /// the offered suite.
+    pub fn client_handshake(
+        mut wire: W,
+        config: &ClientConfig,
+        mut prng: Prng,
+    ) -> Result<Session<W>, IsslError> {
+        let mut transcript = Vec::new();
+
+        // -> ClientHello
+        let mut client_nonce = [0u8; NONCE_LEN];
+        prng.fill(&mut client_nonce);
+        let mut hello = suite_to_bytes(config.suite).to_vec();
+        hello.extend_from_slice(&client_nonce);
+        write_record(&mut wire, RecordType::ClientHello, &hello)?;
+        transcript.extend_from_slice(&hello);
+
+        // <- ServerHello
+        let rec = read_record(&mut wire)?;
+        if rec.kind == RecordType::Alert {
+            return Err(IsslError::PeerAlert);
+        }
+        if rec.kind != RecordType::ServerHello {
+            return Err(IsslError::Handshake("expected server hello"));
+        }
+        if rec.body.len() < 2 + NONCE_LEN + 4 {
+            return Err(IsslError::Handshake("short server hello"));
+        }
+        let suite = suite_from_bytes(&rec.body).ok_or(IsslError::Handshake("bad suite"))?;
+        if suite != config.suite {
+            return Err(IsslError::Handshake("server changed the suite"));
+        }
+        let server_nonce = &rec.body[2..2 + NONCE_LEN];
+        let mut off = 2 + NONCE_LEN;
+        let n_len = usize::from(u16::from_be_bytes([rec.body[off], rec.body[off + 1]]));
+        off += 2;
+        let n_bytes = rec
+            .body
+            .get(off..off + n_len)
+            .ok_or(IsslError::Handshake("truncated modulus"))?;
+        off += n_len;
+        let e_len = usize::from(u16::from_be_bytes([
+            *rec.body.get(off).ok_or(IsslError::Handshake("truncated"))?,
+            *rec.body
+                .get(off + 1)
+                .ok_or(IsslError::Handshake("truncated"))?,
+        ]));
+        off += 2;
+        let e_bytes = rec
+            .body
+            .get(off..off + e_len)
+            .ok_or(IsslError::Handshake("truncated exponent"))?;
+        transcript.extend_from_slice(&rec.body);
+
+        // Premaster + -> KeyExchange
+        prng.stir(server_nonce);
+        let premaster: Vec<u8> = match &config.kx {
+            ClientKx::Rsa => {
+                if n_len == 0 {
+                    return Err(IsslError::Handshake("server offered no RSA key"));
+                }
+                let pk = PublicKey::from_bytes(n_bytes, e_bytes);
+                let mut pm = vec![0u8; PREMASTER_LEN];
+                prng.fill(&mut pm);
+                let ct = pk
+                    .encrypt(&pm, &mut PrngRng(&mut prng))
+                    .map_err(|_| IsslError::Rsa)?;
+                write_record(&mut wire, RecordType::KeyExchange, &ct)?;
+                transcript.extend_from_slice(&ct);
+                pm
+            }
+            ClientKx::PreShared(psk) => {
+                write_record(&mut wire, RecordType::KeyExchange, &[])?;
+                psk.clone()
+            }
+        };
+
+        let keys = derive_session_keys(
+            &premaster,
+            &client_nonce,
+            server_nonce,
+            config.suite.key.bytes(),
+        );
+        let transcript_hash = sha1(&transcript);
+
+        // -> Finished, <- Finished
+        let my_mac = hmac_sha1(&keys.client_mac_key, &transcript_hash);
+        write_record(&mut wire, RecordType::Finished, &my_mac)?;
+        let rec = read_record(&mut wire)?;
+        if rec.kind == RecordType::Alert {
+            return Err(IsslError::PeerAlert);
+        }
+        if rec.kind != RecordType::Finished {
+            return Err(IsslError::Handshake("expected finished"));
+        }
+        if !verify_hmac_sha1(&keys.server_mac_key, &transcript_hash, &rec.body) {
+            return Err(IsslError::BadMac);
+        }
+
+        let enc = Rijndael::new(&keys.client_write_key, config.suite.block)
+            .map_err(|_| IsslError::Handshake("bad key length"))?;
+        let dec = Rijndael::new(&keys.server_write_key, config.suite.block)
+            .map_err(|_| IsslError::Handshake("bad key length"))?;
+        Ok(Session {
+            wire,
+            enc,
+            dec,
+            mac_out: keys.client_mac_key,
+            mac_in: keys.server_mac_key,
+            block_len: config.suite.block.bytes(),
+            seq_out: 0,
+            seq_in: 0,
+            prng,
+            peer_closed: false,
+            plain_buf: VecDeque::new(),
+        })
+    }
+
+    /// Runs the server side of the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`IsslError::UnsupportedSuite`] when the client offers a geometry
+    /// outside `config.suites` (an alert is sent first — this is the
+    /// embedded profile rejecting 192/256-bit requests); other variants
+    /// as for the client.
+    pub fn server_handshake(
+        mut wire: W,
+        config: &ServerConfig,
+        mut prng: Prng,
+    ) -> Result<Session<W>, IsslError> {
+        let mut transcript = Vec::new();
+
+        // <- ClientHello
+        let rec = read_record(&mut wire)?;
+        if rec.kind != RecordType::ClientHello {
+            return Err(IsslError::Handshake("expected client hello"));
+        }
+        if rec.body.len() != 2 + NONCE_LEN {
+            return Err(IsslError::Handshake("bad client hello length"));
+        }
+        let offered = suite_from_bytes(&rec.body).ok_or(IsslError::Handshake("bad suite"))?;
+        if !config.suites.contains(&offered) {
+            let _ = write_record(&mut wire, RecordType::Alert, b"unsupported suite");
+            return Err(IsslError::UnsupportedSuite);
+        }
+        let client_nonce: Vec<u8> = rec.body[2..].to_vec();
+        transcript.extend_from_slice(&rec.body);
+        prng.stir(&client_nonce);
+
+        // -> ServerHello
+        let mut server_nonce = [0u8; NONCE_LEN];
+        prng.fill(&mut server_nonce);
+        let mut hello = suite_to_bytes(offered).to_vec();
+        hello.extend_from_slice(&server_nonce);
+        match &config.kx {
+            ServerKx::Rsa(kp) => {
+                let n = kp.public().n_bytes();
+                let e = kp.public().e_bytes();
+                hello.extend_from_slice(&(n.len() as u16).to_be_bytes());
+                hello.extend_from_slice(&n);
+                hello.extend_from_slice(&(e.len() as u16).to_be_bytes());
+                hello.extend_from_slice(&e);
+            }
+            ServerKx::PreShared(_) => {
+                hello.extend_from_slice(&0u16.to_be_bytes());
+                hello.extend_from_slice(&0u16.to_be_bytes());
+            }
+        }
+        write_record(&mut wire, RecordType::ServerHello, &hello)?;
+        transcript.extend_from_slice(&hello);
+
+        // <- KeyExchange
+        let rec = read_record(&mut wire)?;
+        if rec.kind != RecordType::KeyExchange {
+            return Err(IsslError::Handshake("expected key exchange"));
+        }
+        let premaster: Vec<u8> = match &config.kx {
+            ServerKx::Rsa(kp) => {
+                let pm = kp.decrypt(&rec.body).map_err(|_| IsslError::Rsa)?;
+                transcript.extend_from_slice(&rec.body);
+                pm
+            }
+            ServerKx::PreShared(psk) => psk.clone(),
+        };
+
+        let keys = derive_session_keys(
+            &premaster,
+            &client_nonce,
+            &server_nonce,
+            offered.key.bytes(),
+        );
+        let transcript_hash = sha1(&transcript);
+
+        // <- Finished, -> Finished
+        let rec = read_record(&mut wire)?;
+        if rec.kind != RecordType::Finished {
+            return Err(IsslError::Handshake("expected finished"));
+        }
+        if !verify_hmac_sha1(&keys.client_mac_key, &transcript_hash, &rec.body) {
+            let _ = write_record(&mut wire, RecordType::Alert, b"bad finished");
+            return Err(IsslError::BadMac);
+        }
+        let my_mac = hmac_sha1(&keys.server_mac_key, &transcript_hash);
+        write_record(&mut wire, RecordType::Finished, &my_mac)?;
+
+        let enc = Rijndael::new(&keys.server_write_key, offered.block)
+            .map_err(|_| IsslError::Handshake("bad key length"))?;
+        let dec = Rijndael::new(&keys.client_write_key, offered.block)
+            .map_err(|_| IsslError::Handshake("bad key length"))?;
+        Ok(Session {
+            wire,
+            enc,
+            dec,
+            mac_out: keys.server_mac_key,
+            mac_in: keys.client_mac_key,
+            block_len: offered.block.bytes(),
+            seq_out: 0,
+            seq_in: 0,
+            prng,
+            peer_closed: false,
+            plain_buf: VecDeque::new(),
+        })
+    }
+
+    /// Encrypts and sends application data (fragmenting across records).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures via [`IsslError::Record`].
+    pub fn secure_write(&mut self, data: &[u8]) -> Result<(), IsslError> {
+        for chunk in data.chunks(FRAGMENT) {
+            let mut iv = vec![0u8; self.block_len];
+            self.prng.fill(&mut iv);
+            let ct = cbc_encrypt(&self.enc, &iv, chunk).map_err(|_| IsslError::Corrupt)?;
+            let mut mac_input = self.seq_out.to_be_bytes().to_vec();
+            mac_input.extend_from_slice(&iv);
+            mac_input.extend_from_slice(&ct);
+            let mac = hmac_sha1(&self.mac_out, &mac_input);
+            let mut body = iv;
+            body.extend_from_slice(&ct);
+            body.extend_from_slice(&mac);
+            debug_assert!(body.len() <= MAX_RECORD);
+            write_record(&mut self.wire, RecordType::Data, &body)?;
+            self.seq_out += 1;
+        }
+        Ok(())
+    }
+
+    /// Receives and decrypts application data into `buf`. Returns 0 at an
+    /// orderly close.
+    ///
+    /// # Errors
+    ///
+    /// [`IsslError::BadMac`] / [`IsslError::Corrupt`] on tampered
+    /// records, transport failures otherwise.
+    pub fn secure_read(&mut self, buf: &mut [u8]) -> Result<usize, IsslError> {
+        while self.plain_buf.is_empty() {
+            if self.peer_closed {
+                return Ok(0);
+            }
+            let rec = match read_record(&mut self.wire) {
+                Ok(r) => r,
+                Err(RecordError::Eof) => {
+                    self.peer_closed = true;
+                    return Ok(0);
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match rec.kind {
+                RecordType::Alert => {
+                    self.peer_closed = true;
+                    return Ok(0);
+                }
+                RecordType::Data => {
+                    let min = self.block_len + crypto::DIGEST_LEN;
+                    if rec.body.len() < min + self.block_len {
+                        return Err(IsslError::Corrupt);
+                    }
+                    let mac_at = rec.body.len() - crypto::DIGEST_LEN;
+                    let (payload, mac) = rec.body.split_at(mac_at);
+                    let mut mac_input = self.seq_in.to_be_bytes().to_vec();
+                    mac_input.extend_from_slice(payload);
+                    if !verify_hmac_sha1(&self.mac_in, &mac_input, mac) {
+                        return Err(IsslError::BadMac);
+                    }
+                    let (iv, ct) = payload.split_at(self.block_len);
+                    let plain = cbc_decrypt(&self.dec, iv, ct).map_err(|_| IsslError::Corrupt)?;
+                    self.plain_buf.extend(plain);
+                    self.seq_in += 1;
+                }
+                _ => return Err(IsslError::Handshake("handshake record after handshake")),
+            }
+        }
+        let n = buf.len().min(self.plain_buf.len());
+        for b in buf.iter_mut().take(n) {
+            *b = self.plain_buf.pop_front().expect("length checked");
+        }
+        Ok(n)
+    }
+
+    /// Sends a close alert.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures via [`IsslError::Record`].
+    pub fn close(&mut self) -> Result<(), IsslError> {
+        write_record(&mut self.wire, RecordType::Alert, b"close")?;
+        Ok(())
+    }
+
+    /// Gives back the transport.
+    pub fn into_wire(self) -> W {
+        self.wire
+    }
+
+    /// Records sent so far (sequence number of the next outgoing record).
+    pub fn records_sent(&self) -> u64 {
+        self.seq_out
+    }
+}
+
+impl<W: Wire> std::fmt::Debug for Session<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("seq_out", &self.seq_out)
+            .field("seq_in", &self.seq_in)
+            .field("block_len", &self.block_len)
+            .finish()
+    }
+}
+
+/// Adapter exposing [`Prng`] as a `rand::Rng` for the RSA padding code.
+struct PrngRng<'a>(&'a mut Prng);
+
+impl rand::RngCore for PrngRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        (self.0.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill(dest);
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.fill(dest);
+        Ok(())
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end tests of the RMC2000 port (the paper's Figure 3 server):
+//! the three-connection cap (E5), the static-allocation discipline (E7),
+//! the AES-128-only restriction, and the circular log.
+
+use std::sync::atomic::Ordering;
+
+use crypto::Size;
+use dynamicc::Scheduler;
+use issl::host::{spawn_driver, spawn_secure_client, standard_rig};
+use issl::log::Log;
+use issl::rmc::{spawn_rmc_server, RmcServerConfig};
+use issl::{CipherSuite, ClientConfig, ClientKx};
+use netsim::Endpoint;
+use sockets::dynic::Stack;
+
+fn psk() -> Vec<u8> {
+    b"rmc2000 pre-shared master secret".to_vec()
+}
+
+fn client_config() -> ClientConfig {
+    ClientConfig {
+        suite: CipherSuite::AES128,
+        kx: ClientKx::PreShared(psk()),
+    }
+}
+
+#[test]
+fn psk_session_against_the_board() {
+    let (net, board, client) = standard_rig(60);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let server = spawn_rmc_server(&mut sched, &stack, &RmcServerConfig::default());
+    let result = spawn_secure_client(
+        &mut sched,
+        &net,
+        client,
+        Endpoint::new(net.with(|w| w.host_ip(board)), 4433),
+        client_config(),
+        (0..2500u32).map(|i| (i % 256) as u8).collect(),
+        600,
+        3,
+    );
+    spawn_driver(&mut sched, &net, 2_000);
+
+    let mut rounds = 0;
+    while !result.done.load(Ordering::SeqCst) && !result.failed.load(Ordering::SeqCst) {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 200_000, "exchange stalled");
+    }
+    assert!(!result.failed.load(Ordering::SeqCst));
+    assert_eq!(result.bytes_verified.load(Ordering::SeqCst), 2500);
+    // Let the handler observe the close and log.
+    for _ in 0..5000 {
+        sched.tick();
+        if server.stats.served.load(Ordering::SeqCst) > 0 {
+            break;
+        }
+    }
+    assert_eq!(server.stats.served.load(Ordering::SeqCst), 1);
+    assert!(server
+        .log
+        .lines()
+        .iter()
+        .any(|l| l.contains("served 2500 bytes")));
+}
+
+/// E5: with three handler costatements, at most three connections are
+/// served simultaneously; a fourth and fifth wait for a free handler but
+/// do eventually get served — without recompiling anything, just slower.
+#[test]
+fn connection_cap_is_three_simultaneous() {
+    let (net, board, client) = standard_rig(61);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let config = RmcServerConfig::default();
+    assert_eq!(config.handlers, 3, "the paper's figure 3 has 3 handlers");
+    let server = spawn_rmc_server(&mut sched, &stack, &config);
+
+    let results: Vec<_> = (0..5)
+        .map(|i| {
+            spawn_secure_client(
+                &mut sched,
+                &net,
+                client,
+                Endpoint::new(net.with(|w| w.host_ip(board)), 4433),
+                client_config(),
+                vec![i as u8; 4000],
+                400,
+                100 + i as u64,
+            )
+        })
+        .collect();
+    spawn_driver(&mut sched, &net, 2_000);
+
+    let mut rounds = 0;
+    while !results
+        .iter()
+        .all(|r| r.done.load(Ordering::SeqCst) || r.failed.load(Ordering::SeqCst))
+    {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 500_000, "five-client run stalled");
+    }
+    for (i, r) in results.iter().enumerate() {
+        assert!(!r.failed.load(Ordering::SeqCst), "client {i} failed");
+        assert_eq!(r.bytes_verified.load(Ordering::SeqCst), 4000, "client {i}");
+    }
+    let max = server.stats.max_active.load(Ordering::SeqCst);
+    assert!(max <= 3, "never more than three in flight, saw {max}");
+    assert!(max >= 2, "the load did overlap, saw {max}");
+    // All five were served in the end.
+    for _ in 0..5000 {
+        sched.tick();
+        if server.stats.served.load(Ordering::SeqCst) == 5 {
+            break;
+        }
+    }
+    assert_eq!(server.stats.served.load(Ordering::SeqCst), 5);
+}
+
+/// The port rejects the Rijndael geometries it dropped (§2: only 128-bit
+/// keys and blocks survived the port).
+#[test]
+fn non_aes128_suites_are_rejected() {
+    let (net, board, client) = standard_rig(62);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let server = spawn_rmc_server(&mut sched, &stack, &RmcServerConfig::default());
+    let result = spawn_secure_client(
+        &mut sched,
+        &net,
+        client,
+        Endpoint::new(net.with(|w| w.host_ip(board)), 4433),
+        ClientConfig {
+            suite: CipherSuite {
+                key: Size::Bits256,
+                block: Size::Bits256,
+            },
+            kx: ClientKx::PreShared(psk()),
+        },
+        b"should never flow".to_vec(),
+        64,
+        9,
+    );
+    spawn_driver(&mut sched, &net, 2_000);
+
+    let mut rounds = 0;
+    while !result.done.load(Ordering::SeqCst) && !result.failed.load(Ordering::SeqCst) {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 200_000);
+    }
+    assert!(result.failed.load(Ordering::SeqCst), "handshake must fail");
+    for _ in 0..5000 {
+        sched.tick();
+        if server.stats.rejected_suites.load(Ordering::SeqCst) > 0 {
+            break;
+        }
+    }
+    assert_eq!(server.stats.rejected_suites.load(Ordering::SeqCst), 1);
+}
+
+/// E7: all extended memory is allocated at start-up; serving traffic
+/// allocates nothing further (xalloc has no free, so anything else would
+/// leak the board to death).
+#[test]
+fn allocation_trace_is_flat_while_serving() {
+    let (net, board, client) = standard_rig(63);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let server = spawn_rmc_server(&mut sched, &stack, &RmcServerConfig::default());
+
+    let (count_before, used_before) = {
+        let arena = server.xalloc.lock().unwrap();
+        (arena.allocation_count(), arena.used())
+    };
+    assert_eq!(count_before, 3, "one static buffer per handler");
+
+    let result = spawn_secure_client(
+        &mut sched,
+        &net,
+        client,
+        Endpoint::new(net.with(|w| w.host_ip(board)), 4433),
+        client_config(),
+        vec![7u8; 6000],
+        512,
+        11,
+    );
+    spawn_driver(&mut sched, &net, 2_000);
+    let mut rounds = 0;
+    while !result.done.load(Ordering::SeqCst) && !result.failed.load(Ordering::SeqCst) {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 200_000);
+    }
+    assert!(!result.failed.load(Ordering::SeqCst));
+
+    let arena = server.xalloc.lock().unwrap();
+    assert_eq!(arena.allocation_count(), count_before, "no runtime allocs");
+    assert_eq!(arena.used(), used_before, "no runtime arena growth");
+}
+
+/// The circular log stays bounded over many connections, unlike the
+/// host's file log.
+#[test]
+fn circular_log_stays_bounded_over_many_sessions() {
+    let (net, board, client) = standard_rig(64);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let config = RmcServerConfig {
+        log_lines: 4,
+        ..RmcServerConfig::default()
+    };
+    let server = spawn_rmc_server(&mut sched, &stack, &config);
+    spawn_driver(&mut sched, &net, 2_000);
+
+    for i in 0..6 {
+        let result = spawn_secure_client(
+            &mut sched,
+            &net,
+            client,
+            Endpoint::new(net.with(|w| w.host_ip(board)), 4433),
+            client_config(),
+            vec![i as u8; 100],
+            100,
+            200 + i as u64,
+        );
+        let mut rounds = 0;
+        while !result.done.load(Ordering::SeqCst) && !result.failed.load(Ordering::SeqCst) {
+            sched.tick();
+            rounds += 1;
+            assert!(rounds < 200_000, "client {i} stalled");
+        }
+        assert!(!result.failed.load(Ordering::SeqCst), "client {i} failed");
+    }
+    for _ in 0..10_000 {
+        sched.tick();
+        if server.stats.served.load(Ordering::SeqCst) == 6 {
+            break;
+        }
+    }
+    assert_eq!(server.stats.served.load(Ordering::SeqCst), 6);
+    assert!(server.log.lines().len() <= 4, "log bounded at capacity");
+    assert!(server.log.dropped() >= 2, "older entries rolled off");
+}
+
+/// The compiled-in key hash replaces the host's key-hash file.
+#[test]
+fn key_hash_is_compiled_in() {
+    let (net, board, _client) = standard_rig(65);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let server = spawn_rmc_server(&mut sched, &stack, &RmcServerConfig::default());
+    let expected: String = crypto::sha1(&psk())
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    assert_eq!(server.key_hash, expected);
+    server.stats.stop.store(true, Ordering::SeqCst);
+}

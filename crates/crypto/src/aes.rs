@@ -1,0 +1,388 @@
+//! The Rijndael block cipher with the full key/block-size matrix issl
+//! advertises: keys of 128/192/256 bits **and** blocks of 128/192/256
+//! bits (AES proper is the Nb = 4 column).
+//!
+//! The paper's port kept only 128-bit keys and blocks "to keep our
+//! implementation simple" — the embedded profile enforces that restriction
+//! at its own layer; this crate implements the whole matrix so the host
+//! profile has what issl had.
+
+use std::sync::OnceLock;
+
+use crate::gf::{inv_sbox_table, mul, sbox_table};
+
+/// A Rijndael key or block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// 128 bits (4 words).
+    Bits128,
+    /// 192 bits (6 words).
+    Bits192,
+    /// 256 bits (8 words).
+    Bits256,
+}
+
+impl Size {
+    /// Number of 32-bit words.
+    pub fn words(self) -> usize {
+        match self {
+            Size::Bits128 => 4,
+            Size::Bits192 => 6,
+            Size::Bits256 => 8,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn bytes(self) -> usize {
+        self.words() * 4
+    }
+
+    /// Classifies a byte length.
+    pub fn from_len(len: usize) -> Option<Size> {
+        match len {
+            16 => Some(Size::Bits128),
+            24 => Some(Size::Bits192),
+            32 => Some(Size::Bits256),
+            _ => None,
+        }
+    }
+}
+
+/// Errors constructing a cipher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesError {
+    /// Key length is not 16, 24 or 32 bytes.
+    BadKeyLength(usize),
+    /// Data length does not match the block size.
+    BadBlockLength {
+        /// Bytes supplied.
+        got: usize,
+        /// Block size expected.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for AesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AesError::BadKeyLength(n) => write!(f, "bad key length {n} (want 16/24/32)"),
+            AesError::BadBlockLength { got, expected } => {
+                write!(f, "bad block length {got} (want {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AesError {}
+
+fn sbox() -> &'static [u8; 256] {
+    static T: OnceLock<[u8; 256]> = OnceLock::new();
+    T.get_or_init(sbox_table)
+}
+
+fn inv_sbox() -> &'static [u8; 256] {
+    static T: OnceLock<[u8; 256]> = OnceLock::new();
+    T.get_or_init(inv_sbox_table)
+}
+
+/// ShiftRows offsets per row for a given Nb (Rijndael spec, Table 1: the
+/// row-2/3 offsets grow for the 256-bit block).
+fn shift_offsets(nb: usize) -> [usize; 4] {
+    match nb {
+        8 => [0, 1, 3, 4],
+        _ => [0, 1, 2, 3],
+    }
+}
+
+/// A Rijndael cipher instance: expanded key plus geometry.
+#[derive(Clone)]
+pub struct Rijndael {
+    /// Round keys, one word per column, `nb * (nr + 1)` words.
+    round_keys: Vec<[u8; 4]>,
+    nb: usize,
+    nr: usize,
+    block_bytes: usize,
+}
+
+/// AES is Rijndael with a 128-bit block.
+pub type Aes = Rijndael;
+
+impl Rijndael {
+    /// Builds a cipher for the given key bytes and block size.
+    ///
+    /// # Errors
+    ///
+    /// [`AesError::BadKeyLength`] unless the key is 16, 24 or 32 bytes.
+    pub fn new(key: &[u8], block: Size) -> Result<Rijndael, AesError> {
+        let Some(ksize) = Size::from_len(key.len()) else {
+            return Err(AesError::BadKeyLength(key.len()));
+        };
+        let nk = ksize.words();
+        let nb = block.words();
+        let nr = nk.max(nb) + 6;
+        let total_words = nb * (nr + 1);
+
+        // Key expansion (FIPS-197 §5.2, generalised to any Nb).
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let sb = sbox();
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sb[usize::from(*b)];
+                }
+                temp[0] ^= rcon;
+                rcon = crate::gf::xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = sb[usize::from(*b)];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        Ok(Rijndael {
+            round_keys: w,
+            nb,
+            nr,
+            block_bytes: nb * 4,
+        })
+    }
+
+    /// AES-128/192/256 constructor (16-byte block).
+    ///
+    /// # Errors
+    ///
+    /// As [`Rijndael::new`].
+    pub fn aes(key: &[u8]) -> Result<Rijndael, AesError> {
+        Rijndael::new(key, Size::Bits128)
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Number of rounds (10/12/14 for AES; up to 14 for big blocks).
+    pub fn rounds(&self) -> usize {
+        self.nr
+    }
+
+    fn add_round_key(&self, state: &mut [u8], round: usize) {
+        for c in 0..self.nb {
+            let k = self.round_keys[round * self.nb + c];
+            for r in 0..4 {
+                state[4 * c + r] ^= k[r];
+            }
+        }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8], table: &[u8; 256]) {
+        for b in state.iter_mut() {
+            *b = table[usize::from(*b)];
+        }
+    }
+
+    fn shift_rows(&self, state: &mut [u8], inverse: bool) {
+        let offsets = shift_offsets(self.nb);
+        let mut tmp = vec![0u8; self.nb];
+        for r in 1..4 {
+            let off = offsets[r];
+            for (c, t) in tmp.iter_mut().enumerate() {
+                let src = if inverse {
+                    (c + self.nb - off % self.nb) % self.nb
+                } else {
+                    (c + off) % self.nb
+                };
+                *t = state[4 * src + r];
+            }
+            for (c, t) in tmp.iter().enumerate() {
+                state[4 * c + r] = *t;
+            }
+        }
+    }
+
+    fn mix_columns(&self, state: &mut [u8], inverse: bool) {
+        let (m0, m1, m2, m3) = if inverse {
+            (0x0E, 0x0B, 0x0D, 0x09)
+        } else {
+            (0x02, 0x03, 0x01, 0x01)
+        };
+        for c in 0..self.nb {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            for r in 0..4 {
+                state[4 * c + r] = mul(m0, col[r])
+                    ^ mul(m1, col[(r + 1) % 4])
+                    ^ mul(m2, col[(r + 2) % 4])
+                    ^ mul(m3, col[(r + 3) % 4]);
+            }
+        }
+    }
+
+    /// Encrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.block_bytes()`.
+    pub fn encrypt_block(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), self.block_bytes, "block length");
+        self.add_round_key(block, 0);
+        for round in 1..self.nr {
+            self.sub_bytes(block, sbox());
+            self.shift_rows(block, false);
+            self.mix_columns(block, false);
+            self.add_round_key(block, round);
+        }
+        self.sub_bytes(block, sbox());
+        self.shift_rows(block, false);
+        self.add_round_key(block, self.nr);
+    }
+
+    /// Decrypts one block in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.block_bytes()`.
+    pub fn decrypt_block(&self, block: &mut [u8]) {
+        assert_eq!(block.len(), self.block_bytes, "block length");
+        self.add_round_key(block, self.nr);
+        for round in (1..self.nr).rev() {
+            self.shift_rows(block, true);
+            self.sub_bytes(block, inv_sbox());
+            self.add_round_key(block, round);
+            self.mix_columns(block, true);
+        }
+        self.shift_rows(block, true);
+        self.sub_bytes(block, inv_sbox());
+        self.add_round_key(block, 0);
+    }
+}
+
+impl std::fmt::Debug for Rijndael {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rijndael")
+            .field("nb", &self.nb)
+            .field("nr", &self.nr)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let mut block = hex("3243f6a8885a308d313198a2e0370734");
+        let aes = Rijndael::aes(&key).unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, hex("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let mut block = hex("00112233445566778899aabbccddeeff");
+        let aes = Rijndael::aes(&key).unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_appendix_c2_aes192() {
+        let key = hex("000102030405060708090a0b0c0d0e0f1011121314151617");
+        let mut block = hex("00112233445566778899aabbccddeeff");
+        let aes = Rijndael::aes(&key).unwrap();
+        assert_eq!(aes.rounds(), 12);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("dda97ca4864cdfe06eaf70a0ec0d7191"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let mut block = hex("00112233445566778899aabbccddeeff");
+        let aes = Rijndael::aes(&key).unwrap();
+        assert_eq!(aes.rounds(), 14);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, hex("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    fn all_nine_size_combinations_round_trip() {
+        for ksize in [Size::Bits128, Size::Bits192, Size::Bits256] {
+            for bsize in [Size::Bits128, Size::Bits192, Size::Bits256] {
+                let key: Vec<u8> = (0..ksize.bytes() as u8).collect();
+                let cipher = Rijndael::new(&key, bsize).unwrap();
+                let plain: Vec<u8> = (0..bsize.bytes() as u8).map(|i| i ^ 0x5A).collect();
+                let mut block = plain.clone();
+                cipher.encrypt_block(&mut block);
+                assert_ne!(block, plain, "{ksize:?}/{bsize:?} changed the data");
+                cipher.decrypt_block(&mut block);
+                assert_eq!(block, plain, "{ksize:?}/{bsize:?} round-trips");
+            }
+        }
+    }
+
+    #[test]
+    fn round_counts_follow_the_spec() {
+        let k128 = vec![0; 16];
+        let k192 = vec![0; 24];
+        let k256 = vec![0; 32];
+        assert_eq!(Rijndael::new(&k128, Size::Bits128).unwrap().rounds(), 10);
+        assert_eq!(Rijndael::new(&k192, Size::Bits128).unwrap().rounds(), 12);
+        assert_eq!(Rijndael::new(&k256, Size::Bits128).unwrap().rounds(), 14);
+        assert_eq!(Rijndael::new(&k128, Size::Bits256).unwrap().rounds(), 14);
+        assert_eq!(Rijndael::new(&k128, Size::Bits192).unwrap().rounds(), 12);
+    }
+
+    #[test]
+    fn bad_key_length_is_rejected() {
+        assert_eq!(
+            Rijndael::aes(&[0u8; 17]).unwrap_err(),
+            AesError::BadKeyLength(17)
+        );
+    }
+
+    #[test]
+    fn avalanche_single_bit() {
+        let key = [7u8; 16];
+        let aes = Rijndael::aes(&key).unwrap();
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        b[0] = 1;
+        aes.encrypt_block(&mut a);
+        aes.encrypt_block(&mut b);
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        assert!(
+            differing > 40,
+            "one flipped bit changes ~half the output, got {differing}"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Arithmetic in GF(2^8) with the Rijndael reduction polynomial
+//! x^8 + x^4 + x^3 + x + 1 (0x11B), and the S-box built from it.
+
+/// Multiplies by x (the `xtime` primitive of the Rijndael spec).
+pub fn xtime(a: u8) -> u8 {
+    let shifted = a << 1;
+    if a & 0x80 != 0 {
+        shifted ^ 0x1B
+    } else {
+        shifted
+    }
+}
+
+/// Full GF(2^8) multiplication.
+pub fn mul(a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    let mut a = a;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Multiplicative inverse (0 maps to 0), by exponentiation to 254.
+pub fn inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^-1 in GF(2^8)*
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = mul(result, base);
+        }
+        base = mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+/// The forward S-box: multiplicative inverse followed by the affine map.
+pub fn sbox(a: u8) -> u8 {
+    let x = inv(a);
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+/// Builds the 256-entry forward S-box table.
+pub fn sbox_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, e) in t.iter_mut().enumerate() {
+        *e = sbox(i as u8);
+    }
+    t
+}
+
+/// Builds the inverse S-box table.
+pub fn inv_sbox_table() -> [u8; 256] {
+    let fwd = sbox_table();
+    let mut t = [0u8; 256];
+    for (i, &v) in fwd.iter().enumerate() {
+        t[usize::from(v)] = i as u8;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_matches_spec_examples() {
+        // FIPS-197 §4.2.1: {57} * {02} = {ae}, * {04} = {47}, * {08} = {8e}
+        assert_eq!(xtime(0x57), 0xAE);
+        assert_eq!(xtime(0xAE), 0x47);
+        assert_eq!(xtime(0x47), 0x8E);
+    }
+
+    #[test]
+    fn mul_matches_spec_example() {
+        // FIPS-197 §4.2: {57} x {83} = {c1}
+        assert_eq!(mul(0x57, 0x83), 0xC1);
+        assert_eq!(mul(0x57, 0x13), 0xFE);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a:#x}");
+        }
+        assert_eq!(inv(0), 0);
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        // FIPS-197 Figure 7.
+        assert_eq!(sbox(0x00), 0x63);
+        assert_eq!(sbox(0x01), 0x7C);
+        assert_eq!(sbox(0x53), 0xED);
+        assert_eq!(sbox(0xFF), 0x16);
+    }
+
+    #[test]
+    fn inverse_sbox_inverts() {
+        let fwd = sbox_table();
+        let inv = inv_sbox_table();
+        for i in 0..=255u8 {
+            assert_eq!(inv[usize::from(fwd[usize::from(i)])], i);
+        }
+    }
+}

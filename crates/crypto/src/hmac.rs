@@ -1,0 +1,94 @@
+//! HMAC-SHA1 (RFC 2104), authenticating the issl record layer.
+
+use crate::sha1::{Sha1, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes HMAC-SHA1 of `data` under `key`.
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let digest = crate::sha1::sha1(key);
+        k[..DIGEST_LEN].copy_from_slice(&digest);
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Sha1::new();
+    let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+    inner.update(&ipad);
+    inner.update(data);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha1::new();
+    let opad: Vec<u8> = k.iter().map(|b| b ^ 0x5C).collect();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time comparison of two MACs.
+pub fn verify_hmac_sha1(key: &[u8], data: &[u8], mac: &[u8]) -> bool {
+    let expect = hmac_sha1(key, data);
+    if mac.len() != expect.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (a, b) in expect.iter().zip(mac) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_test_case_1() {
+        let key = [0x0B; 20];
+        assert_eq!(
+            hex(&hmac_sha1(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn rfc2202_test_case_2() {
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+    }
+
+    #[test]
+    fn rfc2202_test_case_3() {
+        let key = [0xAA; 20];
+        let data = [0xDD; 50];
+        assert_eq!(
+            hex(&hmac_sha1(&key, &data)),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn long_keys_are_hashed_first() {
+        let key = [0xAA; 80];
+        let mac = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(hex(&mac), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = hmac_sha1(b"k", b"payload");
+        assert!(verify_hmac_sha1(b"k", b"payload", &mac));
+        assert!(!verify_hmac_sha1(b"k", b"payloae", &mac));
+        assert!(!verify_hmac_sha1(b"j", b"payload", &mac));
+        assert!(!verify_hmac_sha1(b"k", b"payload", &mac[..10]));
+    }
+}

@@ -1,0 +1,35 @@
+//! The cryptographic primitives of the issl service: the full Rijndael
+//! cipher (every key/block-size combination issl advertised), the block
+//! modes its record layer uses, SHA-1 and HMAC-SHA1 for record
+//! authentication, and the `random()` replacement the RMC2000 port had to
+//! write because Dynamic C lacks one.
+//!
+//! Correctness is pinned by published vectors: FIPS-197 appendices B and
+//! C for AES, RFC 3174 for SHA-1, RFC 2202 for HMAC-SHA1.
+//!
+//! ```
+//! use crypto::{cbc_decrypt, cbc_encrypt, Rijndael};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cipher = Rijndael::aes(&[7u8; 16])?;
+//! let iv = [0u8; 16];
+//! let ct = cbc_encrypt(&cipher, &iv, b"attack at dawn")?;
+//! assert_eq!(cbc_decrypt(&cipher, &iv, &ct)?, b"attack at dawn");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aes;
+pub mod gf;
+pub mod hmac;
+pub mod modes;
+pub mod prng;
+pub mod sha1;
+
+pub use aes::{Aes, AesError, Rijndael, Size};
+pub use hmac::{hmac_sha1, verify_hmac_sha1};
+pub use modes::{
+    cbc_decrypt, cbc_encrypt, ctr_xor, ecb_decrypt, ecb_encrypt, pkcs7_pad, pkcs7_unpad, ModeError,
+};
+pub use prng::Prng;
+pub use sha1::{sha1, Sha1, DIGEST_LEN};

@@ -1,0 +1,294 @@
+//! Block-cipher modes over [`crate::aes::Rijndael`]: ECB, CBC (with
+//! PKCS#7 padding) and CTR, plus the padding helpers themselves.
+
+use crate::aes::Rijndael;
+
+/// Errors from mode-level operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeError {
+    /// Input length is not a whole number of blocks.
+    NotBlockAligned {
+        /// Bytes supplied.
+        got: usize,
+        /// Block size in force.
+        block: usize,
+    },
+    /// IV length does not match the block size.
+    BadIvLength {
+        /// Bytes supplied.
+        got: usize,
+        /// Block size in force.
+        block: usize,
+    },
+    /// Padding bytes are inconsistent (wrong key, corrupt data).
+    BadPadding,
+}
+
+impl std::fmt::Display for ModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModeError::NotBlockAligned { got, block } => {
+                write!(f, "{got} bytes is not a multiple of the {block}-byte block")
+            }
+            ModeError::BadIvLength { got, block } => {
+                write!(f, "IV of {got} bytes does not match the {block}-byte block")
+            }
+            ModeError::BadPadding => write!(f, "invalid padding"),
+        }
+    }
+}
+
+impl std::error::Error for ModeError {}
+
+/// Appends PKCS#7 padding up to `block` bytes.
+pub fn pkcs7_pad(data: &mut Vec<u8>, block: usize) {
+    let pad = block - data.len() % block;
+    data.extend(std::iter::repeat_n(pad as u8, pad));
+}
+
+/// Strips PKCS#7 padding.
+///
+/// # Errors
+///
+/// [`ModeError::BadPadding`] when the trailer is inconsistent.
+pub fn pkcs7_unpad(data: &mut Vec<u8>, block: usize) -> Result<(), ModeError> {
+    let &last = data.last().ok_or(ModeError::BadPadding)?;
+    let pad = usize::from(last);
+    if pad == 0 || pad > block || pad > data.len() {
+        return Err(ModeError::BadPadding);
+    }
+    if data[data.len() - pad..].iter().any(|&b| b != last) {
+        return Err(ModeError::BadPadding);
+    }
+    data.truncate(data.len() - pad);
+    Ok(())
+}
+
+/// ECB encryption of whole blocks (no padding; exposed for the Rabbit
+/// test bench which pumps raw blocks).
+///
+/// # Errors
+///
+/// [`ModeError::NotBlockAligned`].
+pub fn ecb_encrypt(cipher: &Rijndael, data: &mut [u8]) -> Result<(), ModeError> {
+    let block = cipher.block_bytes();
+    if !data.len().is_multiple_of(block) {
+        return Err(ModeError::NotBlockAligned {
+            got: data.len(),
+            block,
+        });
+    }
+    for chunk in data.chunks_mut(block) {
+        cipher.encrypt_block(chunk);
+    }
+    Ok(())
+}
+
+/// ECB decryption of whole blocks.
+///
+/// # Errors
+///
+/// [`ModeError::NotBlockAligned`].
+pub fn ecb_decrypt(cipher: &Rijndael, data: &mut [u8]) -> Result<(), ModeError> {
+    let block = cipher.block_bytes();
+    if !data.len().is_multiple_of(block) {
+        return Err(ModeError::NotBlockAligned {
+            got: data.len(),
+            block,
+        });
+    }
+    for chunk in data.chunks_mut(block) {
+        cipher.decrypt_block(chunk);
+    }
+    Ok(())
+}
+
+/// CBC-encrypts `plain` with PKCS#7 padding. Returns the ciphertext.
+///
+/// # Errors
+///
+/// [`ModeError::BadIvLength`].
+pub fn cbc_encrypt(cipher: &Rijndael, iv: &[u8], plain: &[u8]) -> Result<Vec<u8>, ModeError> {
+    let block = cipher.block_bytes();
+    if iv.len() != block {
+        return Err(ModeError::BadIvLength {
+            got: iv.len(),
+            block,
+        });
+    }
+    let mut data = plain.to_vec();
+    pkcs7_pad(&mut data, block);
+    let mut prev = iv.to_vec();
+    for chunk in data.chunks_mut(block) {
+        for (b, p) in chunk.iter_mut().zip(&prev) {
+            *b ^= p;
+        }
+        cipher.encrypt_block(chunk);
+        prev.copy_from_slice(chunk);
+    }
+    Ok(data)
+}
+
+/// CBC-decrypts and strips PKCS#7 padding. Returns the plaintext.
+///
+/// # Errors
+///
+/// [`ModeError::BadIvLength`], [`ModeError::NotBlockAligned`],
+/// [`ModeError::BadPadding`].
+pub fn cbc_decrypt(cipher: &Rijndael, iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, ModeError> {
+    let block = cipher.block_bytes();
+    if iv.len() != block {
+        return Err(ModeError::BadIvLength {
+            got: iv.len(),
+            block,
+        });
+    }
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(block) {
+        return Err(ModeError::NotBlockAligned {
+            got: ciphertext.len(),
+            block,
+        });
+    }
+    let mut data = ciphertext.to_vec();
+    let mut prev = iv.to_vec();
+    for chunk in data.chunks_mut(block) {
+        let this_ct = chunk.to_vec();
+        cipher.decrypt_block(chunk);
+        for (b, p) in chunk.iter_mut().zip(&prev) {
+            *b ^= p;
+        }
+        prev = this_ct;
+    }
+    pkcs7_unpad(&mut data, block)?;
+    Ok(data)
+}
+
+/// CTR keystream transform (encryption and decryption are the same
+/// operation). The counter occupies the trailing 8 bytes of the nonce
+/// block, big-endian.
+///
+/// # Errors
+///
+/// [`ModeError::BadIvLength`].
+pub fn ctr_xor(cipher: &Rijndael, nonce: &[u8], data: &mut [u8]) -> Result<(), ModeError> {
+    let block = cipher.block_bytes();
+    if nonce.len() != block {
+        return Err(ModeError::BadIvLength {
+            got: nonce.len(),
+            block,
+        });
+    }
+    let mut counter_block = nonce.to_vec();
+    let mut counter: u64 = 0;
+    for chunk in data.chunks_mut(block) {
+        let mut ks = counter_block.clone();
+        let ctr_bytes = counter.to_be_bytes();
+        let tail = ks.len() - 8;
+        for (k, c) in ks[tail..].iter_mut().zip(ctr_bytes) {
+            *k ^= c;
+        }
+        cipher.encrypt_block(&mut ks);
+        for (b, k) in chunk.iter_mut().zip(&ks) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+        counter_block.copy_from_slice(nonce);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::{Rijndael, Size};
+
+    fn cipher() -> Rijndael {
+        Rijndael::aes(&[0x42; 16]).unwrap()
+    }
+
+    #[test]
+    fn pkcs7_round_trip_all_lengths() {
+        for len in 0..48 {
+            let mut data: Vec<u8> = (0..len as u8).collect();
+            let original = data.clone();
+            pkcs7_pad(&mut data, 16);
+            assert_eq!(data.len() % 16, 0);
+            pkcs7_unpad(&mut data, 16).unwrap();
+            assert_eq!(data, original);
+        }
+    }
+
+    #[test]
+    fn pkcs7_rejects_corruption() {
+        let mut data = vec![1, 2, 3];
+        pkcs7_pad(&mut data, 16);
+        let last = data.len() - 1;
+        data[last] = 0;
+        assert_eq!(pkcs7_unpad(&mut data, 16), Err(ModeError::BadPadding));
+    }
+
+    #[test]
+    fn ecb_round_trip_and_alignment() {
+        let c = cipher();
+        let mut data = vec![7u8; 32];
+        ecb_encrypt(&c, &mut data).unwrap();
+        assert_ne!(data, vec![7u8; 32]);
+        // identical plaintext blocks leak in ECB
+        assert_eq!(data[..16], data[16..], "ECB leaks repeated blocks");
+        ecb_decrypt(&c, &mut data).unwrap();
+        assert_eq!(data, vec![7u8; 32]);
+        assert!(ecb_encrypt(&c, &mut [0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn cbc_hides_repeated_blocks_and_round_trips() {
+        let c = cipher();
+        let iv = [9u8; 16];
+        let plain = vec![7u8; 32];
+        let ct = cbc_encrypt(&c, &iv, &plain).unwrap();
+        assert_ne!(ct[..16], ct[16..32], "CBC masks repetition");
+        assert_eq!(cbc_decrypt(&c, &iv, &ct).unwrap(), plain);
+    }
+
+    #[test]
+    fn cbc_wrong_iv_fails_or_garbles() {
+        let c = cipher();
+        let ct = cbc_encrypt(&c, &[1u8; 16], b"attack at dawn").unwrap();
+        let out = cbc_decrypt(&c, &[2u8; 16], &ct);
+        assert!(out.is_err() || out.unwrap() != b"attack at dawn");
+    }
+
+    #[test]
+    fn cbc_rejects_truncated_ciphertext() {
+        let c = cipher();
+        let ct = cbc_encrypt(&c, &[0u8; 16], b"hello").unwrap();
+        assert!(matches!(
+            cbc_decrypt(&c, &[0u8; 16], &ct[..15]),
+            Err(ModeError::NotBlockAligned { .. })
+        ));
+    }
+
+    #[test]
+    fn ctr_is_an_involution_any_length() {
+        let c = cipher();
+        let nonce = [3u8; 16];
+        for len in [1usize, 15, 16, 17, 100] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut data = plain.clone();
+            ctr_xor(&c, &nonce, &mut data).unwrap();
+            assert_ne!(data, plain);
+            ctr_xor(&c, &nonce, &mut data).unwrap();
+            assert_eq!(data, plain, "len {len}");
+        }
+    }
+
+    #[test]
+    fn modes_work_with_large_rijndael_blocks() {
+        let key: Vec<u8> = (0..24).collect();
+        let c = Rijndael::new(&key, Size::Bits192).unwrap();
+        let iv = vec![5u8; 24];
+        let msg = b"rijndael with 192-bit blocks, as issl allowed";
+        let ct = cbc_encrypt(&c, &iv, msg).unwrap();
+        assert_eq!(cbc_decrypt(&c, &iv, &ct).unwrap(), msg);
+    }
+}

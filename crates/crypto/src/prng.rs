@@ -1,0 +1,133 @@
+//! The `random()` replacement.
+//!
+//! The paper's §5 lists the missing C library `random` function as the
+//! *simplest* class of porting problem — "our solutions ranged from
+//! creating a new implementation of the library function (e.g., writing a
+//! `random` function) …". This is that function: a small, seedable,
+//! deterministic generator of the kind one writes for an 8-bit target
+//! (xorshift — cheap enough for a Z80-class machine), **not** a
+//! cryptographically strong source. Session keys in the embedded profile
+//! stir in handshake nonces to compensate, exactly the sort of pragmatic
+//! compromise the original port made.
+
+/// A small xorshift64* generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seeds the generator. A zero seed is remapped (xorshift cannot hold
+    /// zero state).
+    pub fn new(seed: u64) -> Prng {
+        Prng {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The classic `random()` shape: a non-negative 31-bit value.
+    pub fn random(&mut self) -> i32 {
+        (self.next_u64() >> 33) as i32
+    }
+
+    /// Fills a buffer with random bytes.
+    pub fn fill(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// Folds entropy (e.g. a peer nonce) into the state.
+    pub fn stir(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = self
+                .state
+                .rotate_left(8)
+                .wrapping_add(u64::from(b))
+                .wrapping_mul(0x0010_0000_01B3);
+            if self.state == 0 {
+                self.state = 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::new(7);
+        let mut b = Prng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Prng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_is_non_negative() {
+        let mut p = Prng::new(123);
+        for _ in 0..1000 {
+            assert!(p.random() >= 0);
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut p = Prng::new(0);
+        assert_ne!(p.next_u64(), 0);
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut p = Prng::new(5);
+        let mut buf = [0u8; 13];
+        p.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn stir_changes_the_stream() {
+        let mut a = Prng::new(9);
+        let mut b = Prng::new(9);
+        b.stir(b"peer nonce");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bytes_look_roughly_uniform() {
+        let mut p = Prng::new(42);
+        let mut buf = vec![0u8; 64 * 1024];
+        p.fill(&mut buf);
+        let mut counts = [0u32; 256];
+        for &b in &buf {
+            counts[usize::from(b)] += 1;
+        }
+        let expected = buf.len() as f64 / 256.0;
+        for (v, &c) in counts.iter().enumerate() {
+            let ratio = f64::from(c) / expected;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "byte {v} count {c} deviates from {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! SHA-1 (RFC 3174), used by the issl record layer's HMAC.
+
+/// Digest size in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Block size in bytes (relevant to HMAC).
+pub const BLOCK_LEN: usize = 64;
+
+/// Incremental SHA-1 state.
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    buf: Vec<u8>,
+    len_bits: u64,
+}
+
+impl Sha1 {
+    /// Fresh hash state.
+    pub fn new() -> Sha1 {
+        Sha1 {
+            h: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
+            buf: Vec::with_capacity(BLOCK_LEN),
+            len_bits: 0,
+        }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len_bits = self.len_bits.wrapping_add(data.len() as u64 * 8);
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= BLOCK_LEN {
+            let block: [u8; BLOCK_LEN] = self.buf[..BLOCK_LEN].try_into().expect("length checked");
+            self.compress(&block);
+            self.buf.drain(..BLOCK_LEN);
+        }
+    }
+
+    /// Finishes and returns the digest.
+    pub fn finalize(mut self) -> [u8; DIGEST_LEN] {
+        let len_bits = self.len_bits;
+        self.buf.push(0x80);
+        self.len_bits = len_bits; // update() above not used for padding
+        while self.buf.len() % BLOCK_LEN != 56 {
+            self.buf.push(0);
+        }
+        self.buf.extend_from_slice(&len_bits.to_be_bytes());
+        let blocks: Vec<[u8; BLOCK_LEN]> = self
+            .buf
+            .chunks(BLOCK_LEN)
+            .map(|c| c.try_into().expect("whole blocks"))
+            .collect();
+        for b in blocks {
+            self.compress(&b);
+        }
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5A82_7999),
+                1 => (b ^ c ^ d, 0x6ED9_EBA1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.h[0] = self.h[0].wrapping_add(a);
+        self.h[1] = self.h[1].wrapping_add(b);
+        self.h[2] = self.h[2].wrapping_add(c);
+        self.h[3] = self.h[3].wrapping_add(d);
+        self.h[4] = self.h[4].wrapping_add(e);
+    }
+}
+
+impl Default for Sha1 {
+    fn default() -> Sha1 {
+        Sha1::new()
+    }
+}
+
+impl std::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sha1({} bits absorbed)", self.len_bits)
+    }
+}
+
+/// One-shot convenience.
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_vectors() {
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..500u16).map(|i| (i % 251) as u8).collect();
+        let mut h = Sha1::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), sha1(&data));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over the cipher and modes: round-trip laws for every
+//! key/block geometry, mode involutions, and MAC soundness.
+
+use crypto::{
+    cbc_decrypt, cbc_encrypt, ctr_xor, ecb_decrypt, ecb_encrypt, hmac_sha1, pkcs7_pad, pkcs7_unpad,
+    sha1, verify_hmac_sha1, Rijndael, Size,
+};
+use proptest::prelude::*;
+
+fn size_strategy() -> impl Strategy<Value = Size> {
+    prop_oneof![
+        Just(Size::Bits128),
+        Just(Size::Bits192),
+        Just(Size::Bits256)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn rijndael_block_round_trip(
+        key in proptest::collection::vec(any::<u8>(), 16..=16),
+        block_size in size_strategy(),
+        seed: u8,
+    ) {
+        let cipher = Rijndael::new(&key, block_size).unwrap();
+        let plain: Vec<u8> = (0..cipher.block_bytes()).map(|i| (i as u8) ^ seed).collect();
+        let mut buf = plain.clone();
+        cipher.encrypt_block(&mut buf);
+        cipher.decrypt_block(&mut buf);
+        prop_assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn all_key_sizes_round_trip(klen in prop_oneof![Just(16usize), Just(24), Just(32)], data: [u8; 16]) {
+        let key: Vec<u8> = (0..klen as u8).collect();
+        let cipher = Rijndael::aes(&key).unwrap();
+        let mut buf = data;
+        cipher.encrypt_block(&mut buf);
+        prop_assert_ne!(buf, data);
+        cipher.decrypt_block(&mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn cbc_round_trip_any_length(
+        key: [u8; 16],
+        iv: [u8; 16],
+        plain in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let cipher = Rijndael::aes(&key).unwrap();
+        let ct = cbc_encrypt(&cipher, &iv, &plain).unwrap();
+        prop_assert_eq!(ct.len() % 16, 0);
+        prop_assert!(ct.len() > plain.len(), "padding always added");
+        prop_assert_eq!(cbc_decrypt(&cipher, &iv, &ct).unwrap(), plain);
+    }
+
+    #[test]
+    fn ctr_involution_any_length(
+        key: [u8; 16],
+        nonce: [u8; 16],
+        plain in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let cipher = Rijndael::aes(&key).unwrap();
+        let mut buf = plain.clone();
+        ctr_xor(&cipher, &nonce, &mut buf).unwrap();
+        ctr_xor(&cipher, &nonce, &mut buf).unwrap();
+        prop_assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn ecb_round_trip_whole_blocks(key: [u8; 16], nblocks in 1usize..8, fill: u8) {
+        let cipher = Rijndael::aes(&key).unwrap();
+        let plain = vec![fill; nblocks * 16];
+        let mut buf = plain.clone();
+        ecb_encrypt(&cipher, &mut buf).unwrap();
+        ecb_decrypt(&cipher, &mut buf).unwrap();
+        prop_assert_eq!(buf, plain);
+    }
+
+    #[test]
+    fn pkcs7_inverse(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let mut buf = data.clone();
+        pkcs7_pad(&mut buf, 16);
+        pkcs7_unpad(&mut buf, 16).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn sha1_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 1..200), flip in 0usize..200) {
+        let d1 = sha1(&data);
+        prop_assert_eq!(d1, sha1(&data));
+        let mut tampered = data.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1;
+        prop_assert_ne!(d1, sha1(&tampered));
+    }
+
+    #[test]
+    fn hmac_binds_key_and_data(
+        key in proptest::collection::vec(any::<u8>(), 1..64),
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mac = hmac_sha1(&key, &data);
+        prop_assert!(verify_hmac_sha1(&key, &data, &mac));
+        let mut k2 = key.clone();
+        k2[0] ^= 1;
+        prop_assert!(!verify_hmac_sha1(&k2, &data, &mac));
+    }
+
+    #[test]
+    fn cbc_tampering_is_detected_or_garbles(
+        key: [u8; 16],
+        iv: [u8; 16],
+        plain in proptest::collection::vec(any::<u8>(), 1..100),
+        tamper_at in any::<usize>(),
+    ) {
+        let cipher = Rijndael::aes(&key).unwrap();
+        let mut ct = cbc_encrypt(&cipher, &iv, &plain).unwrap();
+        let idx = tamper_at % ct.len();
+        ct[idx] ^= 0x80;
+        match cbc_decrypt(&cipher, &iv, &ct) {
+            Err(_) => {}
+            Ok(out) => prop_assert_ne!(out, plain),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Abstract syntax for the Dynamic C subset.
+
+/// Scalar types of the subset. Arithmetic is performed in 16 bits; `char`
+/// values are truncated on store, as an 8-bit-targeted C compiler does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// 8-bit unsigned (`char` / `unsigned char`).
+    Char,
+    /// 16-bit unsigned (`int` / `unsigned int`).
+    Int,
+    /// Function return only.
+    Void,
+}
+
+impl Ty {
+    /// Size of a stored value in bytes.
+    pub fn size(self) -> u16 {
+        match self {
+            Ty::Char => 1,
+            Ty::Int => 2,
+            Ty::Void => 0,
+        }
+    }
+}
+
+/// Data placement, per the Dynamic C `root`/`xmem` storage classes.
+///
+/// Dynamic C places ordinary variables in root memory; large constant
+/// tables go to extended memory unless explicitly declared `root` — which
+/// is exactly the "moving data to root memory" optimization of the
+/// paper's §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Place {
+    /// Root memory: one direct access.
+    #[default]
+    Root,
+    /// Extended memory: accessed through the XPC window with save/restore
+    /// overhead.
+    Xmem,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LogAnd,
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Logical not.
+    LogNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(u16),
+    /// Variable reference.
+    Var(String),
+    /// Array element.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Assignment: `lhs = rhs` (lhs is Var or Index).
+    Assign(Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// `if (cond) then [else]`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body` (any part may be absent).
+    For(Option<Expr>, Option<Expr>, Option<Expr>, Vec<Stmt>),
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// A variable declaration (global or function-local; locals are static by
+/// default, as in Dynamic C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Array length, or `None` for a scalar.
+    pub array: Option<u16>,
+    /// Initialiser values (scalars use one element).
+    pub init: Vec<u16>,
+    /// Placement.
+    pub place: Place,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Local declarations.
+    pub locals: Vec<VarDecl>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Global variables (and arrays/tables).
+    pub globals: Vec<VarDecl>,
+    /// Functions; execution starts at `main`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&VarDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}

@@ -1,0 +1,925 @@
+//! Code generation: Dynamic C subset → Rabbit 2000 assembly.
+//!
+//! The generator is deliberately *naive* — a faithful stand-in for a
+//! circa-2002 non-optimizing embedded C compiler: every expression value
+//! flows through `HL`, operands are staged via `push`/`pop`, and every
+//! variable access goes to memory. The optimization switches in
+//! [`Options`] mirror exactly what the paper's authors tried on their C
+//! port of AES (§6): disabling debug instrumentation, moving data to root
+//! memory, unrolling loops, and enabling (peephole) compiler
+//! optimization.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Function, Place, Program, Stmt, Ty, UnOp, VarDecl};
+use crate::lexer::CompileError;
+use crate::peephole;
+
+/// Compiler switches — the paper's E2 ablation axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Insert the `rst 0x28` debugger hook before every statement, as
+    /// Dynamic C does when debugging is enabled (default on).
+    pub debug: bool,
+    /// Place data in root memory instead of behind the XPC window.
+    pub root_data: bool,
+    /// Unroll `for` loops with small constant trip counts.
+    pub unroll: bool,
+    /// Run the peephole optimizer over the generated code.
+    pub peephole: bool,
+}
+
+impl Options {
+    /// Dynamic C defaults: debugging on, data in xmem, no optimization —
+    /// the configuration of the paper's first direct port.
+    pub fn baseline() -> Options {
+        Options {
+            debug: true,
+            root_data: false,
+            unroll: false,
+            peephole: false,
+        }
+    }
+
+    /// Everything the paper tried, together.
+    pub fn all_optimizations() -> Options {
+        Options {
+            debug: false,
+            root_data: true,
+            unroll: true,
+            peephole: true,
+        }
+    }
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options::baseline()
+    }
+}
+
+/// Memory-layout constants shared with the execution harness.
+pub mod layout {
+    /// Entry point / code origin (root flash).
+    pub const CODE_ORG: u16 = 0x4000;
+    /// Root data origin (logical; the harness maps it to SRAM).
+    pub const ROOT_DATA_ORG: u16 = 0x8000;
+    /// Xmem data origin: inside the XPC window.
+    pub const XMEM_DATA_ORG: u16 = 0xE000;
+    /// XPC value selecting the xmem data page.
+    pub const XMEM_XPC: u8 = 0x76;
+    /// Address of the debug hook the `rst 0x28` instrumentation hits.
+    pub const DEBUG_VECTOR: u16 = 0x28;
+}
+
+#[derive(Debug, Clone, Copy)]
+struct VarInfo {
+    ty: Ty,
+    array: bool,
+    place: Place,
+}
+
+struct Codegen<'p> {
+    prog: &'p Program,
+    opts: Options,
+    out: Vec<String>,
+    globals: HashMap<String, VarInfo>,
+    label_seq: usize,
+    /// (break, continue) label stack.
+    loops: Vec<(String, String)>,
+    current_fn: String,
+    used_runtime: RuntimeUse,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RuntimeUse {
+    div: bool,
+    shl: bool,
+    shr: bool,
+}
+
+/// Compiles a parsed program to assembly text.
+///
+/// # Errors
+///
+/// [`CompileError`] on semantic errors (undefined names, bad calls).
+pub fn compile_program(prog: &Program, opts: Options) -> Result<String, CompileError> {
+    let mut globals = HashMap::new();
+    for g in &prog.globals {
+        let place = if opts.root_data { Place::Root } else { g.place };
+        globals.insert(
+            gsym(&g.name),
+            VarInfo {
+                ty: g.ty,
+                array: g.array.is_some(),
+                place,
+            },
+        );
+    }
+    // Function statics (locals + params) are variables too.
+    for f in &prog.functions {
+        for (pname, pty) in &f.params {
+            globals.insert(
+                mangled(&f.name, pname),
+                VarInfo {
+                    ty: *pty,
+                    array: false,
+                    place: Place::Root,
+                },
+            );
+        }
+        for l in &f.locals {
+            let place = if opts.root_data { Place::Root } else { l.place };
+            globals.insert(
+                mangled(&f.name, &l.name),
+                VarInfo {
+                    ty: l.ty,
+                    array: l.array.is_some(),
+                    place,
+                },
+            );
+        }
+    }
+
+    let mut cg = Codegen {
+        prog,
+        opts,
+        out: Vec::new(),
+        globals,
+        label_seq: 0,
+        loops: Vec::new(),
+        current_fn: String::new(),
+        used_runtime: RuntimeUse::default(),
+    };
+    cg.emit_all()?;
+    Ok(cg.out.join("\n") + "\n")
+}
+
+/// Symbol for a global (underscore-prefixed, classic C style, so user
+/// names can never collide with register mnemonics in the assembly).
+fn gsym(name: &str) -> String {
+    format!("_{name}")
+}
+
+fn mangled(func: &str, var: &str) -> String {
+    format!("_{func}__{var}")
+}
+
+impl Codegen<'_> {
+    fn emit(&mut self, line: impl Into<String>) {
+        self.out.push(format!("        {}", line.into()));
+    }
+
+    fn label(&mut self, name: &str) {
+        self.out.push(format!("{name}:"));
+    }
+
+    fn fresh(&mut self, stem: &str) -> String {
+        self.label_seq += 1;
+        format!("L{}_{stem}", self.label_seq)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line: 0,
+            message: msg.into(),
+        }
+    }
+
+    fn emit_all(&mut self) -> Result<(), CompileError> {
+        // Debug vector: the Dynamic C debugger hook. A plain `ret` — the
+        // cost is the rst/ret round trip on every statement.
+        self.out
+            .push(format!("        org {:#06x}", layout::DEBUG_VECTOR));
+        self.emit("ret");
+
+        // Entry stub.
+        self.out
+            .push(format!("        org {:#06x}", layout::CODE_ORG));
+        self.emit("ld sp, 0xDFF0");
+        self.emit("call _main");
+        self.emit("ld (__result), hl");
+        self.emit("halt");
+
+        // Functions.
+        let funcs: Vec<Function> = self.prog.functions.clone();
+        for f in &funcs {
+            self.current_fn = f.name.clone();
+            let fsym = gsym(&f.name);
+            self.label(&fsym);
+            for stmt in &f.body {
+                self.stmt(f, stmt)?;
+            }
+            // Implicit return 0.
+            self.emit("ld hl, 0");
+            self.emit("ret");
+        }
+
+        self.emit_runtime();
+        self.emit_data()?;
+        Ok(())
+    }
+
+    fn emit_runtime(&mut self) {
+        // 16-bit unsigned divide: HL / DE -> quotient HL, remainder DE.
+        // Division by zero returns 0 (no trap on this hardware).
+        if self.used_runtime.div {
+            self.label("__div16");
+            self.emit("ld a, d");
+            self.emit("or e");
+            self.emit("jr nz, __div_ok");
+            self.emit("ld hl, 0");
+            self.emit("ld de, 0");
+            self.emit("ret");
+            self.label("__div_ok");
+            self.emit("push bc");
+            // BC = remainder accumulator, A = bit counter.
+            self.emit("ld bc, 0");
+            self.emit("ld a, 16");
+            self.label("__div_loop");
+            self.emit("push af"); // counter survives the flag traffic below
+            self.emit("add hl, hl"); // shift dividend left, top bit to carry
+            self.emit("rl c");
+            self.emit("rl b"); // remainder = remainder*2 + carry
+            self.emit("push hl");
+            self.emit("ld h, b");
+            self.emit("ld l, c");
+            self.emit("xor a");
+            self.emit("sbc hl, de");
+            self.emit("jr c, __div_no");
+            self.emit("ld b, h");
+            self.emit("ld c, l");
+            self.emit("pop hl");
+            self.emit("inc hl"); // set low quotient bit
+            self.emit("jr __div_next");
+            self.label("__div_no");
+            self.emit("pop hl");
+            self.label("__div_next");
+            self.emit("pop af");
+            self.emit("dec a");
+            self.emit("jr nz, __div_loop");
+            self.emit("ld d, b");
+            self.emit("ld e, c");
+            self.emit("pop bc");
+            self.emit("ret");
+        }
+        if self.used_runtime.shl {
+            // HL << E (0..255; >=16 gives 0)
+            self.label("__shl16");
+            self.emit("ld a, e");
+            self.emit("or a");
+            self.emit("ret z");
+            self.emit("cp 16");
+            self.emit("jr c, __shl_go");
+            self.emit("ld hl, 0");
+            self.emit("ret");
+            self.label("__shl_go");
+            self.emit("push bc");
+            self.emit("ld b, a");
+            self.label("__shl_loop");
+            self.emit("add hl, hl");
+            self.emit("djnz __shl_loop");
+            self.emit("pop bc");
+            self.emit("ret");
+        }
+        if self.used_runtime.shr {
+            // HL >> E
+            self.label("__shr16");
+            self.emit("ld a, e");
+            self.emit("or a");
+            self.emit("ret z");
+            self.emit("cp 16");
+            self.emit("jr c, __shr_go");
+            self.emit("ld hl, 0");
+            self.emit("ret");
+            self.label("__shr_go");
+            self.emit("push bc");
+            self.emit("ld b, a");
+            self.label("__shr_loop");
+            self.emit("xor a"); // clear carry so rr hl shifts in 0
+            self.emit("rr hl");
+            self.emit("djnz __shr_loop");
+            self.emit("pop bc");
+            self.emit("ret");
+        }
+    }
+
+    fn emit_data(&mut self) -> Result<(), CompileError> {
+        let mut decls: Vec<(String, VarDecl)> = Vec::new();
+        for g in &self.prog.globals {
+            decls.push((gsym(&g.name), g.clone()));
+        }
+        for f in &self.prog.functions {
+            for (pname, pty) in &f.params {
+                decls.push((
+                    mangled(&f.name, pname),
+                    VarDecl {
+                        name: String::new(),
+                        ty: *pty,
+                        array: None,
+                        init: Vec::new(),
+                        place: Place::Xmem,
+                    },
+                ));
+            }
+            for l in &f.locals {
+                decls.push((mangled(&f.name, &l.name), l.clone()));
+            }
+        }
+
+        let (root_org, xmem_org) = (layout::ROOT_DATA_ORG, layout::XMEM_DATA_ORG);
+        for section_root in [true, false] {
+            let org = if section_root { root_org } else { xmem_org };
+            self.out.push(format!("        org {org:#06x}"));
+            if section_root {
+                // The harness result mailbox always lives in root data.
+                self.label("__result");
+                self.emit("dw 0");
+            }
+            for (name, decl) in &decls {
+                let info = self.globals[name];
+                if (info.place == Place::Root) != section_root {
+                    continue;
+                }
+                self.label(name);
+                let count = usize::from(decl.array.unwrap_or(1));
+                let mut vals = decl.init.clone();
+                vals.resize(count, 0);
+                let dir = if decl.ty == Ty::Char { "db" } else { "dw" };
+                for chunk in vals.chunks(8) {
+                    let list: Vec<String> = chunk
+                        .iter()
+                        .map(|v| {
+                            if decl.ty == Ty::Char {
+                                format!("{:#04x}", v & 0xFF)
+                            } else {
+                                format!("{v:#06x}")
+                            }
+                        })
+                        .collect();
+                    self.emit(format!("{dir} {}", list.join(", ")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn var_info(&self, f: &Function, name: &str) -> Result<(String, VarInfo), CompileError> {
+        let local = mangled(&f.name, name);
+        if let Some(&info) = self.globals.get(&local) {
+            // Only a hit if it really is this function's local/param.
+            let is_local =
+                f.params.iter().any(|(p, _)| p == name) || f.locals.iter().any(|l| l.name == name);
+            if is_local {
+                return Ok((local, info));
+            }
+        }
+        if let Some(&info) = self.globals.get(&gsym(name)) {
+            if self.prog.global(name).is_some() {
+                return Ok((gsym(name), info));
+            }
+        }
+        Err(self.err(format!("undefined variable `{name}` in `{}`", f.name)))
+    }
+
+    // ---- xmem access sequences ----------------------------------------
+
+    /// Emits the XPC window entry for xmem data access (save current XPC,
+    /// select the data page). Clobbers A.
+    fn xmem_enter(&mut self) {
+        self.emit("ld a, xpc");
+        self.emit("push af");
+        self.emit(format!("ld a, {:#04x}", layout::XMEM_XPC));
+        self.emit("ld xpc, a");
+    }
+
+    fn xmem_leave(&mut self) {
+        self.emit("pop af");
+        self.emit("ld xpc, a");
+    }
+
+    /// Loads variable into HL (zero-extended for char).
+    fn load_var(&mut self, name: &str, info: VarInfo) {
+        let far = info.place == Place::Xmem;
+        if far {
+            self.xmem_enter();
+        }
+        match info.ty {
+            Ty::Char => {
+                self.emit(format!("ld a, ({name})"));
+                self.emit("ld l, a");
+                self.emit("ld h, 0");
+            }
+            _ => self.emit(format!("ld hl, ({name})")),
+        }
+        if far {
+            self.xmem_leave();
+        }
+    }
+
+    /// Stores HL into variable (char truncates).
+    fn store_var(&mut self, name: &str, info: VarInfo) {
+        let far = info.place == Place::Xmem;
+        if far {
+            self.xmem_enter();
+        }
+        match info.ty {
+            Ty::Char => {
+                self.emit("ld a, l");
+                self.emit(format!("ld ({name}), a"));
+            }
+            _ => self.emit(format!("ld ({name}), hl")),
+        }
+        if far {
+            self.xmem_leave();
+        }
+    }
+
+    /// With the element address in HL, loads the element into HL.
+    fn load_element(&mut self, ty: Ty, far: bool) {
+        if far {
+            self.xmem_enter();
+        }
+        match ty {
+            Ty::Char => {
+                self.emit("ld a, (hl)");
+                self.emit("ld l, a");
+                self.emit("ld h, 0");
+            }
+            _ => {
+                self.emit("ld a, (hl)");
+                self.emit("inc hl");
+                self.emit("ld h, (hl)");
+                self.emit("ld l, a");
+            }
+        }
+        if far {
+            self.xmem_leave();
+        }
+    }
+
+    /// With the element address in HL and the value in DE, stores it.
+    fn store_element(&mut self, ty: Ty, far: bool) {
+        if far {
+            self.xmem_enter();
+        }
+        match ty {
+            Ty::Char => {
+                self.emit("ld (hl), e");
+            }
+            _ => {
+                self.emit("ld (hl), e");
+                self.emit("inc hl");
+                self.emit("ld (hl), d");
+            }
+        }
+        if far {
+            self.xmem_leave();
+        }
+    }
+
+    /// Computes the address of `name[index_in_HL]` into HL.
+    fn element_addr(&mut self, name: &str, ty: Ty) {
+        if ty == Ty::Int {
+            self.emit("add hl, hl");
+        }
+        self.emit(format!("ld de, {name}"));
+        self.emit("add hl, de");
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, f: &Function, stmt: &Stmt) -> Result<(), CompileError> {
+        if self.opts.debug {
+            self.emit("rst 0x28");
+        }
+        match stmt {
+            Stmt::Expr(e) => {
+                self.expr(f, e)?;
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => self.expr(f, e)?,
+                    None => self.emit("ld hl, 0"),
+                }
+                if f.ret == Ty::Char {
+                    self.emit("ld h, 0");
+                }
+                self.emit("ret");
+            }
+            Stmt::Break => {
+                let (brk, _) = self
+                    .loops
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| self.err("break outside loop"))?;
+                self.emit(format!("jp {brk}"));
+            }
+            Stmt::Continue => {
+                let (_, cont) = self
+                    .loops
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| self.err("continue outside loop"))?;
+                self.emit(format!("jp {cont}"));
+            }
+            Stmt::If(cond, then, els) => {
+                let lelse = self.fresh("else");
+                let lend = self.fresh("endif");
+                self.expr(f, cond)?;
+                self.emit("bool hl");
+                self.emit(format!("jp z, {lelse}"));
+                for s in then {
+                    self.stmt(f, s)?;
+                }
+                self.emit(format!("jp {lend}"));
+                self.label(&lelse);
+                for s in els {
+                    self.stmt(f, s)?;
+                }
+                self.label(&lend);
+            }
+            Stmt::While(cond, body) => {
+                let ltop = self.fresh("while");
+                let lend = self.fresh("wend");
+                self.label(&ltop);
+                self.expr(f, cond)?;
+                self.emit("bool hl");
+                self.emit(format!("jp z, {lend}"));
+                self.loops.push((lend.clone(), ltop.clone()));
+                for s in body {
+                    self.stmt(f, s)?;
+                }
+                self.loops.pop();
+                self.emit(format!("jp {ltop}"));
+                self.label(&lend);
+            }
+            Stmt::For(init, cond, step, body) => {
+                if self.opts.unroll {
+                    if let Some(()) = self.try_unroll(f, init, cond, step, body)? {
+                        return Ok(());
+                    }
+                }
+                if let Some(e) = init {
+                    self.expr(f, e)?;
+                }
+                let ltop = self.fresh("for");
+                let lstep = self.fresh("fstep");
+                let lend = self.fresh("fend");
+                self.label(&ltop);
+                if let Some(c) = cond {
+                    self.expr(f, c)?;
+                    self.emit("bool hl");
+                    self.emit(format!("jp z, {lend}"));
+                }
+                self.loops.push((lend.clone(), lstep.clone()));
+                for s in body {
+                    self.stmt(f, s)?;
+                }
+                self.loops.pop();
+                self.label(&lstep);
+                if let Some(s) = step {
+                    self.expr(f, s)?;
+                }
+                self.emit(format!("jp {ltop}"));
+                self.label(&lend);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recognises `for (i = C0; i < C1; i++)` with a small trip count and
+    /// no break/continue in the body; emits the body repeatedly.
+    fn try_unroll(
+        &mut self,
+        f: &Function,
+        init: &Option<Expr>,
+        cond: &Option<Expr>,
+        step: &Option<Expr>,
+        body: &[Stmt],
+    ) -> Result<Option<()>, CompileError> {
+        const MAX_TRIPS: u16 = 16;
+        let (Some(init), Some(cond), Some(step)) = (init, cond, step) else {
+            return Ok(None);
+        };
+        let Expr::Assign(target, start) = init else {
+            return Ok(None);
+        };
+        let Expr::Var(ivar) = &**target else {
+            return Ok(None);
+        };
+        let Expr::Num(c0) = &**start else {
+            return Ok(None);
+        };
+        let Expr::Bin(BinOp::Lt, lhs, rhs) = cond else {
+            return Ok(None);
+        };
+        let (Expr::Var(cv), Expr::Num(c1)) = (&**lhs, &**rhs) else {
+            return Ok(None);
+        };
+        if cv != ivar || c1 <= c0 || c1 - c0 > MAX_TRIPS {
+            return Ok(None);
+        }
+        // step must be i = i + 1
+        let Expr::Assign(starget, svalue) = step else {
+            return Ok(None);
+        };
+        let Expr::Var(sv) = &**starget else {
+            return Ok(None);
+        };
+        let Expr::Bin(BinOp::Add, sl, sr) = &**svalue else {
+            return Ok(None);
+        };
+        if sv != ivar
+            || !matches!(&**sl, Expr::Var(v) if v == ivar)
+            || !matches!(**sr, Expr::Num(1))
+        {
+            return Ok(None);
+        }
+        if body_has_loop_escape(body) {
+            return Ok(None);
+        }
+        // Only small, flat bodies are worth replicating; unrolling nested
+        // loops multiplies code size past the 16 KiB root-code budget.
+        if body.len() > 6 || body_has_loop(body) {
+            return Ok(None);
+        }
+
+        for i in *c0..*c1 {
+            // i = <k>; body
+            self.expr(
+                f,
+                &Expr::Assign(Box::new(Expr::Var(ivar.clone())), Box::new(Expr::Num(i))),
+            )?;
+            for s in body {
+                self.stmt(f, s)?;
+            }
+        }
+        // Loop variable ends at the bound, as the rolled loop leaves it.
+        self.expr(
+            f,
+            &Expr::Assign(Box::new(Expr::Var(ivar.clone())), Box::new(Expr::Num(*c1))),
+        )?;
+        Ok(Some(()))
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn expr(&mut self, f: &Function, e: &Expr) -> Result<(), CompileError> {
+        match e {
+            Expr::Num(n) => self.emit(format!("ld hl, {n:#06x}")),
+            Expr::Var(name) => {
+                let (sym, info) = self.var_info(f, name)?;
+                if info.array {
+                    // array name decays to its address
+                    self.emit(format!("ld hl, {sym}"));
+                } else {
+                    self.load_var(&sym, info);
+                }
+            }
+            Expr::Index(name, idx) => {
+                let (sym, info) = self.var_info(f, name)?;
+                if !info.array {
+                    return Err(self.err(format!("`{name}` is not an array")));
+                }
+                self.expr(f, idx)?;
+                self.element_addr(&sym, info.ty);
+                self.load_element(info.ty, info.place == Place::Xmem);
+            }
+            Expr::Un(op, inner) => {
+                self.expr(f, inner)?;
+                match op {
+                    UnOp::Neg => {
+                        self.emit("ex de, hl");
+                        self.emit("ld hl, 0");
+                        self.emit("xor a");
+                        self.emit("sbc hl, de");
+                    }
+                    UnOp::Not => {
+                        self.emit("ld a, h");
+                        self.emit("cpl");
+                        self.emit("ld h, a");
+                        self.emit("ld a, l");
+                        self.emit("cpl");
+                        self.emit("ld l, a");
+                    }
+                    UnOp::LogNot => {
+                        self.emit("bool hl");
+                        self.emit("ld a, l");
+                        self.emit("xor 1");
+                        self.emit("ld l, a");
+                        self.emit("ld h, 0");
+                    }
+                }
+            }
+            Expr::Bin(op, l, r) => self.binop(f, *op, l, r)?,
+            Expr::Assign(target, value) => {
+                self.expr(f, value)?;
+                match &**target {
+                    Expr::Var(name) => {
+                        let (sym, info) = self.var_info(f, name)?;
+                        if info.array {
+                            return Err(self.err(format!("cannot assign to array `{name}`")));
+                        }
+                        self.store_var(&sym, info);
+                    }
+                    Expr::Index(name, idx) => {
+                        let (sym, info) = self.var_info(f, name)?;
+                        self.emit("push hl"); // value
+                        self.expr(f, idx)?;
+                        self.element_addr(&sym, info.ty);
+                        self.emit("pop de"); // value -> DE
+                        self.store_element(info.ty, info.place == Place::Xmem);
+                        self.emit("ex de, hl"); // assignment yields the value
+                    }
+                    _ => return Err(self.err("bad assignment target")),
+                }
+            }
+            Expr::Call(name, args) => {
+                let callee = self
+                    .prog
+                    .function(name)
+                    .ok_or_else(|| self.err(format!("undefined function `{name}`")))?
+                    .clone();
+                if args.len() != callee.params.len() {
+                    return Err(self.err(format!(
+                        "`{name}` takes {} arguments, got {}",
+                        callee.params.len(),
+                        args.len()
+                    )));
+                }
+                // Caller evaluates each argument and stores it into the
+                // callee's static parameter slot (static-locals calling
+                // convention).
+                for (arg, (pname, pty)) in args.iter().zip(&callee.params) {
+                    self.expr(f, arg)?;
+                    let sym = mangled(name, pname);
+                    let info = VarInfo {
+                        ty: *pty,
+                        array: false,
+                        place: self.globals[&sym].place,
+                    };
+                    self.store_var(&sym, info);
+                }
+                self.emit(format!("call {}", gsym(name)));
+            }
+        }
+        Ok(())
+    }
+
+    fn binop(&mut self, f: &Function, op: BinOp, l: &Expr, r: &Expr) -> Result<(), CompileError> {
+        // Short-circuit logicals.
+        match op {
+            BinOp::LogAnd => {
+                let lfalse = self.fresh("andf");
+                let lend = self.fresh("ande");
+                self.expr(f, l)?;
+                self.emit("bool hl");
+                self.emit(format!("jp z, {lfalse}"));
+                self.expr(f, r)?;
+                self.emit("bool hl");
+                self.emit(format!("jp {lend}"));
+                self.label(&lfalse);
+                self.emit("ld hl, 0");
+                self.label(&lend);
+                return Ok(());
+            }
+            BinOp::LogOr => {
+                let ltrue = self.fresh("ort");
+                let lend = self.fresh("ore");
+                self.expr(f, l)?;
+                self.emit("bool hl");
+                self.emit(format!("jp nz, {ltrue}"));
+                self.expr(f, r)?;
+                self.emit("bool hl");
+                self.emit(format!("jp {lend}"));
+                self.label(&ltrue);
+                self.emit("ld hl, 1");
+                self.label(&lend);
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        // Normalise > and >= to swapped < and <=.
+        let (op, l, r) = match op {
+            BinOp::Gt => (BinOp::Lt, r, l),
+            BinOp::Ge => (BinOp::Le, r, l),
+            other => (other, l, r),
+        };
+
+        // left -> stack, right -> DE, left -> HL
+        self.expr(f, l)?;
+        self.emit("push hl");
+        self.expr(f, r)?;
+        self.emit("ex de, hl");
+        self.emit("pop hl");
+
+        match op {
+            BinOp::Add => self.emit("add hl, de"),
+            BinOp::Sub => {
+                self.emit("xor a");
+                self.emit("sbc hl, de");
+            }
+            BinOp::And => self.emit("and hl, de"),
+            BinOp::Or => self.emit("or hl, de"),
+            BinOp::Xor => {
+                self.emit("ld a, h");
+                self.emit("xor d");
+                self.emit("ld h, a");
+                self.emit("ld a, l");
+                self.emit("xor e");
+                self.emit("ld l, a");
+            }
+            BinOp::Mul => {
+                self.emit("ld b, h");
+                self.emit("ld c, l");
+                self.emit("mul");
+                self.emit("ld h, b");
+                self.emit("ld l, c");
+            }
+            BinOp::Div => {
+                self.used_runtime.div = true;
+                self.emit("call __div16");
+            }
+            BinOp::Mod => {
+                self.used_runtime.div = true;
+                self.emit("call __div16");
+                self.emit("ex de, hl");
+            }
+            BinOp::Shl => {
+                self.used_runtime.shl = true;
+                self.emit("call __shl16");
+            }
+            BinOp::Shr => {
+                self.used_runtime.shr = true;
+                self.emit("call __shr16");
+            }
+            BinOp::Eq | BinOp::Ne => {
+                self.emit("xor a");
+                self.emit("sbc hl, de");
+                self.emit("bool hl");
+                if op == BinOp::Eq {
+                    self.emit("ld a, l");
+                    self.emit("xor 1");
+                    self.emit("ld l, a");
+                }
+            }
+            BinOp::Lt => {
+                let ltrue = self.fresh("lt");
+                self.emit("xor a");
+                self.emit("sbc hl, de");
+                self.emit("ld hl, 1");
+                self.emit(format!("jp c, {ltrue}"));
+                self.emit("ld hl, 0");
+                self.label(&ltrue);
+            }
+            BinOp::Le => {
+                // l <= r  <=>  !(r < l); operands currently HL=l, DE=r.
+                let lfalse = self.fresh("le");
+                self.emit("ex de, hl");
+                self.emit("xor a");
+                self.emit("sbc hl, de"); // r - l, carry if r < l
+                self.emit("ld hl, 0");
+                self.emit(format!("jp c, {lfalse}"));
+                self.emit("ld hl, 1");
+                self.label(&lfalse);
+            }
+            BinOp::Gt | BinOp::Ge | BinOp::LogAnd | BinOp::LogOr => {
+                unreachable!("normalised or handled above")
+            }
+        }
+        Ok(())
+    }
+}
+
+fn body_has_loop(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::For(..) | Stmt::While(..) => true,
+        Stmt::If(_, a, b) => body_has_loop(a) || body_has_loop(b),
+        _ => false,
+    })
+}
+
+fn body_has_loop_escape(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::Break | Stmt::Continue => true,
+        Stmt::If(_, a, b) => body_has_loop_escape(a) || body_has_loop_escape(b),
+        // nested loops own their break/continue
+        _ => false,
+    })
+}
+
+/// Compiles source text with the given options.
+///
+/// # Errors
+///
+/// [`CompileError`] from the lexer, parser or code generator.
+pub fn compile(source: &str, opts: Options) -> Result<String, CompileError> {
+    let prog = crate::parser::parse(source)?;
+    let mut asm = compile_program(&prog, opts)?;
+    if opts.peephole {
+        asm = peephole::optimize(&asm);
+    }
+    Ok(asm)
+}

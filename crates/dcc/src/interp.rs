@@ -1,0 +1,424 @@
+//! A direct AST interpreter for the Dynamic C subset — the reference
+//! semantics the compiled code is differentially tested against.
+//!
+//! Semantics mirror the compiler exactly: 16-bit wrapping arithmetic,
+//! `char` truncation on store, Dynamic C static locals (they keep values
+//! across calls), division by zero yields 0 (the hardware has no trap and
+//! the paper's port "simply ignored most errors").
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Function, Program, Stmt, Ty, UnOp};
+use crate::lexer::CompileError;
+
+/// Memory image of one variable.
+#[derive(Debug, Clone)]
+struct Cell {
+    ty: Ty,
+    values: Vec<u16>,
+}
+
+/// Interpreter state.
+pub struct Interp<'p> {
+    prog: &'p Program,
+    vars: HashMap<String, Cell>,
+    /// Steps executed (guards against runaway loops).
+    pub steps: u64,
+    max_steps: u64,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(u16),
+}
+
+impl<'p> Interp<'p> {
+    /// Prepares an interpreter, allocating globals and every function's
+    /// static locals/params.
+    pub fn new(prog: &'p Program) -> Interp<'p> {
+        let mut vars = HashMap::new();
+        for g in &prog.globals {
+            let len = usize::from(g.array.unwrap_or(1));
+            let mut values = vec![0u16; len];
+            for (v, &init) in values.iter_mut().zip(&g.init) {
+                *v = mask(g.ty, init);
+            }
+            vars.insert(g.name.clone(), Cell { ty: g.ty, values });
+        }
+        for f in &prog.functions {
+            for (pname, pty) in &f.params {
+                vars.insert(
+                    scoped(&f.name, pname),
+                    Cell {
+                        ty: *pty,
+                        values: vec![0],
+                    },
+                );
+            }
+            for l in &f.locals {
+                let len = usize::from(l.array.unwrap_or(1));
+                let mut values = vec![0u16; len];
+                for (v, &init) in values.iter_mut().zip(&l.init) {
+                    *v = mask(l.ty, init);
+                }
+                vars.insert(scoped(&f.name, &l.name), Cell { ty: l.ty, values });
+            }
+        }
+        Interp {
+            prog,
+            vars,
+            steps: 0,
+            max_steps: 50_000_000,
+        }
+    }
+
+    /// Runs `main` and returns its value.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError`] for missing symbols or a blown step budget.
+    pub fn run_main(&mut self) -> Result<u16, CompileError> {
+        self.call("main", &[])
+    }
+
+    /// Calls a function by name with argument values.
+    ///
+    /// # Errors
+    ///
+    /// As [`Interp::run_main`].
+    pub fn call(&mut self, name: &str, args: &[u16]) -> Result<u16, CompileError> {
+        let f = self.prog.function(name).ok_or_else(|| CompileError {
+            line: 0,
+            message: format!("undefined function `{name}`"),
+        })?;
+        if args.len() != f.params.len() {
+            return Err(CompileError {
+                line: 0,
+                message: format!("{name}: expected {} args", f.params.len()),
+            });
+        }
+        for ((pname, pty), &v) in f.params.iter().zip(args) {
+            let key = scoped(name, pname);
+            let cell = self.vars.get_mut(&key).expect("params preallocated");
+            cell.values[0] = mask(*pty, v);
+        }
+        match self.exec_block(f, &f.body)? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(0),
+        }
+    }
+
+    /// Reads a global scalar or array element, for test assertions.
+    pub fn global(&self, name: &str, index: usize) -> Option<u16> {
+        self.vars
+            .get(name)
+            .and_then(|c| c.values.get(index))
+            .copied()
+    }
+
+    fn exec_block(&mut self, f: &Function, body: &[Stmt]) -> Result<Flow, CompileError> {
+        for stmt in body {
+            match self.exec(f, stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(&mut self, f: &Function, stmt: &Stmt) -> Result<Flow, CompileError> {
+        self.tick()?;
+        Ok(match stmt {
+            Stmt::Expr(e) => {
+                self.eval(f, e)?;
+                Flow::Normal
+            }
+            Stmt::If(cond, then, els) => {
+                if self.eval(f, cond)? != 0 {
+                    self.exec_block(f, then)?
+                } else {
+                    self.exec_block(f, els)?
+                }
+            }
+            Stmt::While(cond, body) => {
+                while self.eval(f, cond)? != 0 {
+                    self.tick()?;
+                    match self.exec_block(f, body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::For(init, cond, step, body) => {
+                if let Some(e) = init {
+                    self.eval(f, e)?;
+                }
+                loop {
+                    if let Some(c) = cond {
+                        if self.eval(f, c)? == 0 {
+                            break;
+                        }
+                    }
+                    self.tick()?;
+                    match self.exec_block(f, body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if let Some(s) = step {
+                        self.eval(f, s)?;
+                    }
+                }
+                Flow::Normal
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval(f, e)?,
+                    None => 0,
+                };
+                Flow::Return(mask(f.ret, v))
+            }
+            Stmt::Break => Flow::Break,
+            Stmt::Continue => Flow::Continue,
+        })
+    }
+
+    fn lookup_key(&self, f: &Function, name: &str) -> Result<String, CompileError> {
+        let local = scoped(&f.name, name);
+        if self.vars.contains_key(&local) {
+            return Ok(local);
+        }
+        if self.vars.contains_key(name) {
+            return Ok(name.to_string());
+        }
+        Err(CompileError {
+            line: 0,
+            message: format!("undefined variable `{name}` in `{}`", f.name),
+        })
+    }
+
+    fn eval(&mut self, f: &Function, e: &Expr) -> Result<u16, CompileError> {
+        self.tick()?;
+        Ok(match e {
+            Expr::Num(n) => *n,
+            Expr::Var(name) => {
+                let key = self.lookup_key(f, name)?;
+                self.vars[&key].values[0]
+            }
+            Expr::Index(name, idx) => {
+                let i = usize::from(self.eval(f, idx)?);
+                let key = self.lookup_key(f, name)?;
+                let cell = &self.vars[&key];
+                *cell.values.get(i).ok_or_else(|| CompileError {
+                    line: 0,
+                    message: format!("index {i} out of bounds for `{name}`"),
+                })?
+            }
+            Expr::Un(op, inner) => {
+                let v = self.eval(f, inner)?;
+                match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => !v,
+                    UnOp::LogNot => u16::from(v == 0),
+                }
+            }
+            Expr::Bin(op, l, r) => {
+                // short-circuit forms first
+                match op {
+                    BinOp::LogAnd => {
+                        let lv = self.eval(f, l)?;
+                        if lv == 0 {
+                            return Ok(0);
+                        }
+                        return Ok(u16::from(self.eval(f, r)? != 0));
+                    }
+                    BinOp::LogOr => {
+                        let lv = self.eval(f, l)?;
+                        if lv != 0 {
+                            return Ok(1);
+                        }
+                        return Ok(u16::from(self.eval(f, r)? != 0));
+                    }
+                    _ => {}
+                }
+                let a = self.eval(f, l)?;
+                let b = self.eval(f, r)?;
+                eval_bin(*op, a, b)
+            }
+            Expr::Assign(target, value) => {
+                let v = self.eval(f, value)?;
+                match &**target {
+                    Expr::Var(name) => {
+                        let key = self.lookup_key(f, name)?;
+                        let cell = self.vars.get_mut(&key).expect("checked");
+                        let v = mask(cell.ty, v);
+                        cell.values[0] = v;
+                        v
+                    }
+                    Expr::Index(name, idx) => {
+                        let i = usize::from(self.eval(f, idx)?);
+                        let key = self.lookup_key(f, name)?;
+                        let cell = self.vars.get_mut(&key).expect("checked");
+                        let v = mask(cell.ty, v);
+                        *cell.values.get_mut(i).ok_or_else(|| CompileError {
+                            line: 0,
+                            message: format!("index {i} out of bounds for `{name}`"),
+                        })? = v;
+                        v
+                    }
+                    _ => unreachable!("parser validates assignment targets"),
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(f, a)?);
+                }
+                self.call(name, &vals)?
+            }
+        })
+    }
+
+    fn tick(&mut self) -> Result<(), CompileError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(CompileError {
+                line: 0,
+                message: "interpreter step budget exhausted".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a non-short-circuit binary operator with the subset's
+/// semantics.
+pub fn eval_bin(op: BinOp, a: u16, b: u16) -> u16 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => a.checked_div(b).unwrap_or(0),
+        BinOp::Mod => a.checked_rem(b).unwrap_or(0),
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => {
+            if b >= 16 {
+                0
+            } else {
+                a << b
+            }
+        }
+        BinOp::Shr => {
+            if b >= 16 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        BinOp::Eq => u16::from(a == b),
+        BinOp::Ne => u16::from(a != b),
+        BinOp::Lt => u16::from(a < b),
+        BinOp::Le => u16::from(a <= b),
+        BinOp::Gt => u16::from(a > b),
+        BinOp::Ge => u16::from(a >= b),
+        BinOp::LogAnd | BinOp::LogOr => unreachable!("short-circuit handled by caller"),
+    }
+}
+
+fn mask(ty: Ty, v: u16) -> u16 {
+    match ty {
+        Ty::Char => v & 0xFF,
+        _ => v,
+    }
+}
+
+fn scoped(func: &str, var: &str) -> String {
+    format!("{func}::{var}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> u16 {
+        let prog = parse(src).expect("parses");
+        Interp::new(&prog).run_main().expect("runs")
+    }
+
+    #[test]
+    fn arithmetic_and_loops() {
+        assert_eq!(run("int main() { return 2 + 3 * 4; }"), 14);
+        assert_eq!(
+            run("int main() { int s; int i; s = 0; for (i = 1; i <= 10; i++) s += i; return s; }"),
+            55
+        );
+    }
+
+    #[test]
+    fn char_truncates_on_store() {
+        assert_eq!(run("char c; int main() { c = 0x1FF; return c; }"), 0xFF);
+    }
+
+    #[test]
+    fn arrays_and_tables() {
+        assert_eq!(
+            run("char t[4] = {10, 20, 30, 40}; int main() { return t[1] + t[3]; }"),
+            60
+        );
+    }
+
+    #[test]
+    fn static_locals_persist_across_calls() {
+        // Dynamic C §4.1: locals are static by default, which "can
+        // dramatically change program behavior".
+        assert_eq!(
+            run("int bump() { int n; n += 1; return n; }\n\
+                 int main() { bump(); bump(); return bump(); }"),
+            3
+        );
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        assert_eq!(run("int main() { return 7 / 0 + 3 % 0; }"), 0);
+    }
+
+    #[test]
+    fn short_circuit_evaluation() {
+        assert_eq!(
+            run("int hits; int touch() { hits += 1; return 1; }\n\
+                 int main() { 0 && touch(); 1 || touch(); return hits; }"),
+            0
+        );
+    }
+
+    #[test]
+    fn break_and_continue() {
+        assert_eq!(
+            run(
+                "int main() { int i; int s; s = 0; for (i = 0; i < 10; i++) { \
+                 if (i == 3) continue; if (i == 6) break; s += i; } return s; }"
+            ),
+            1 + 2 + 4 + 5
+        );
+    }
+
+    #[test]
+    fn recursion_is_broken_by_static_locals() {
+        // With static locals, naive recursion gives the non-recursive
+        // answer — exactly the surprise the paper warns about.
+        let v = run(
+            "int fact(int n) { int r; if (n <= 1) return 1; r = fact(n - 1); return n * r; }\n\
+             int main() { return fact(4); }",
+        );
+        // n is clobbered by the recursive call: fact(4) -> n becomes 1.
+        assert_ne!(v, 24, "static locals break recursion, got {v}");
+    }
+}

@@ -1,0 +1,352 @@
+//! Lexer for the Dynamic C subset.
+
+use std::fmt;
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token proper.
+    pub kind: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (already decoded).
+    Num(u16),
+    /// Keyword.
+    Kw(Kw),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    Char,
+    Int,
+    Unsigned,
+    Void,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    /// Dynamic C storage-class: place in root memory.
+    Root,
+    /// Dynamic C storage-class: place in extended memory.
+    Xmem,
+    /// Explicit stack (non-static) local — Dynamic C's `auto`.
+    Auto,
+    /// `const` (accepted, tables stay writable in our model).
+    Const,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing/parsing/compiling diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s {
+        "char" => Kw::Char,
+        "int" => Kw::Int,
+        "unsigned" => Kw::Unsigned,
+        "void" => Kw::Void,
+        "if" => Kw::If,
+        "else" => Kw::Else,
+        "while" => Kw::While,
+        "for" => Kw::For,
+        "return" => Kw::Return,
+        "break" => Kw::Break,
+        "continue" => Kw::Continue,
+        "root" => Kw::Root,
+        "xmem" => Kw::Xmem,
+        "auto" => Kw::Auto,
+        "const" => Kw::Const,
+        _ => return None,
+    })
+}
+
+/// Tokenizes a source string.
+///
+/// # Errors
+///
+/// [`CompileError`] on unterminated comments, bad characters or numeric
+/// overflow.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let n = bytes.len();
+
+    let punct2 = [
+        "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+        "&=", "|=", "^=", "++", "--",
+    ];
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(CompileError {
+                            line: start,
+                            message: "unterminated comment".into(),
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if i + 2 < n && bytes[i + 2] == '\'' {
+                    toks.push(Token {
+                        kind: Tok::Num(bytes[i + 1] as u16),
+                        line,
+                    });
+                    i += 3;
+                } else if i + 3 < n && bytes[i + 1] == '\\' && bytes[i + 3] == '\'' {
+                    let v = match bytes[i + 2] {
+                        'n' => b'\n',
+                        't' => b'\t',
+                        'r' => b'\r',
+                        '0' => 0,
+                        '\\' => b'\\',
+                        '\'' => b'\'',
+                        other => {
+                            return Err(CompileError {
+                                line,
+                                message: format!("unknown escape `\\{other}`"),
+                            })
+                        }
+                    };
+                    toks.push(Token {
+                        kind: Tok::Num(u16::from(v)),
+                        line,
+                    });
+                    i += 4;
+                } else {
+                    return Err(CompileError {
+                        line,
+                        message: "bad character literal".into(),
+                    });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let value: u64 =
+                    if c == '0' && i + 1 < n && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                        i += 2;
+                        let hs = i;
+                        while i < n && bytes[i].is_ascii_hexdigit() {
+                            i += 1;
+                        }
+                        let s: String = bytes[hs..i].iter().collect();
+                        u64::from_str_radix(&s, 16).map_err(|_| CompileError {
+                            line,
+                            message: "bad hex literal".into(),
+                        })?
+                    } else {
+                        while i < n && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                        let s: String = bytes[start..i].iter().collect();
+                        s.parse().map_err(|_| CompileError {
+                            line,
+                            message: "bad number".into(),
+                        })?
+                    };
+                if value > 0xFFFF {
+                    return Err(CompileError {
+                        line,
+                        message: format!("literal {value} exceeds 16 bits"),
+                    });
+                }
+                toks.push(Token {
+                    kind: Tok::Num(value as u16),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                let kind = match keyword(&s) {
+                    Some(k) => Tok::Kw(k),
+                    None => Tok::Ident(s),
+                };
+                toks.push(Token { kind, line });
+            }
+            _ => {
+                let rest: String = bytes[i..n.min(i + 3)].iter().collect();
+                let mut matched = None;
+                for p in punct2 {
+                    if rest.starts_with(p) {
+                        matched = Some(p);
+                        break;
+                    }
+                }
+                if let Some(p) = matched {
+                    toks.push(Token {
+                        kind: Tok::Punct(p),
+                        line,
+                    });
+                    i += p.len();
+                } else {
+                    let singles = "+-*/%&|^~!<>=(){}[];,?:";
+                    if let Some(idx) = singles.find(c) {
+                        let p = &singles[idx..idx + c.len_utf8()];
+                        // map to 'static str
+                        let p: &'static str = match p {
+                            "+" => "+",
+                            "-" => "-",
+                            "*" => "*",
+                            "/" => "/",
+                            "%" => "%",
+                            "&" => "&",
+                            "|" => "|",
+                            "^" => "^",
+                            "~" => "~",
+                            "!" => "!",
+                            "<" => "<",
+                            ">" => ">",
+                            "=" => "=",
+                            "(" => "(",
+                            ")" => ")",
+                            "{" => "{",
+                            "}" => "}",
+                            "[" => "[",
+                            "]" => "]",
+                            ";" => ";",
+                            "," => ",",
+                            "?" => "?",
+                            _ => ":",
+                        };
+                        toks.push(Token {
+                            kind: Tok::Punct(p),
+                            line,
+                        });
+                        i += 1;
+                    } else {
+                        return Err(CompileError {
+                            line,
+                            message: format!("unexpected character `{c}`"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    toks.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_declaration() {
+        let toks = lex("unsigned char x = 0x1F; // comment").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(kinds[0], &Tok::Kw(Kw::Unsigned));
+        assert_eq!(kinds[1], &Tok::Kw(Kw::Char));
+        assert_eq!(kinds[2], &Tok::Ident("x".into()));
+        assert_eq!(kinds[3], &Tok::Punct("="));
+        assert_eq!(kinds[4], &Tok::Num(0x1F));
+        assert_eq!(kinds[5], &Tok::Punct(";"));
+        assert_eq!(kinds[6], &Tok::Eof);
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        let toks = lex("a <<= b >> 2 != 3").unwrap();
+        let punct: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, Tok::Punct(_)))
+            .map(|t| &t.kind)
+            .collect();
+        assert_eq!(
+            punct,
+            vec![&Tok::Punct("<<="), &Tok::Punct(">>"), &Tok::Punct("!=")]
+        );
+    }
+
+    #[test]
+    fn block_comments_and_lines() {
+        let toks = lex("a /* multi\nline */ b").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn char_literals() {
+        let toks = lex(r"'A' '\n' '\0'").unwrap();
+        assert_eq!(toks[0].kind, Tok::Num(65));
+        assert_eq!(toks[1].kind, Tok::Num(10));
+        assert_eq!(toks[2].kind, Tok::Num(0));
+    }
+
+    #[test]
+    fn oversized_literal_rejected() {
+        assert!(lex("70000").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! **dcc** — a compiler for the Dynamic C subset of ANSI C, targeting the
+//! Rabbit 2000 and reproducing the code-generation behaviour the paper's
+//! evaluation (§6) measures: a naive non-optimizing translation with the
+//! exact optimization switches the authors swept on their AES port —
+//! debug instrumentation (Dynamic C's per-statement `rst 0x28` hook),
+//! root-vs-xmem data placement, loop unrolling, and peephole optimization.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`codegen`] (+[`peephole`]) →
+//! `rabbit::assemble`, with [`interp`] as a reference interpreter for
+//! differential testing and [`harness`] to run builds on the simulator
+//! and read back cycles, size and results.
+//!
+//! Dynamic C quirks preserved (paper §4.1): locals are **static by
+//! default** — they keep values across calls and break naive recursion —
+//! and there is no trap on division by zero.
+//!
+//! ```
+//! use dcc::{build, Options};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = "int main() { int s; int i; s = 0;\n\
+//!                for (i = 1; i <= 10; i++) s += i; return s; }";
+//! let b = build(program, Options::baseline())?;
+//! let run = b.run(1_000_000)?;
+//! assert_eq!(run.result, 55);
+//! assert!(run.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod codegen;
+pub mod harness;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod peephole;
+
+pub use codegen::{compile, layout, Options};
+pub use harness::{build, Build, HarnessError, RunResult};
+pub use interp::Interp;
+pub use lexer::CompileError;
+pub use parser::parse;

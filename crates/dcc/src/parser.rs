@@ -1,0 +1,563 @@
+//! Recursive-descent parser for the Dynamic C subset.
+
+use crate::ast::{BinOp, Expr, Function, Place, Program, Stmt, Ty, UnOp, VarDecl};
+use crate::lexer::{lex, CompileError, Kw, Tok, Token};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// [`CompileError`] with the offending line on any syntax error.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let toks = lex(source)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            line: self.line(),
+            message: msg.into(),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(q) if *q == p) && {
+            self.bump();
+            true
+        }
+    }
+
+    fn eat_kw(&mut self, k: Kw) -> bool {
+        matches!(self.peek(), Tok::Kw(q) if *q == k) && {
+            self.bump();
+            true
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CompileError {
+                line,
+                message: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    /// Parses an optional storage class + type: `[root|xmem] [const]
+    /// [unsigned] (char|int|void)`.
+    fn try_type(&mut self) -> Result<Option<(Ty, Place)>, CompileError> {
+        let mut place = Place::default();
+        let mut saw_place = false;
+        if self.eat_kw(Kw::Root) {
+            place = Place::Root;
+            saw_place = true;
+        } else if self.eat_kw(Kw::Xmem) {
+            place = Place::Xmem;
+            saw_place = true;
+        }
+        let _ = self.eat_kw(Kw::Const);
+        let unsigned = self.eat_kw(Kw::Unsigned);
+        let ty = if self.eat_kw(Kw::Char) {
+            Ty::Char
+        } else if self.eat_kw(Kw::Int) {
+            Ty::Int
+        } else if self.eat_kw(Kw::Void) {
+            Ty::Void
+        } else if unsigned {
+            Ty::Int // plain `unsigned`
+        } else if saw_place {
+            return Err(self.err("expected a type after storage class"));
+        } else {
+            return Ok(None);
+        };
+        Ok(Some((ty, place)))
+    }
+
+    fn const_expr(&mut self) -> Result<u16, CompileError> {
+        // Initialisers and array sizes: numbers, optionally negated.
+        let neg = self.eat_punct("-");
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(n) => Ok(if neg { n.wrapping_neg() } else { n }),
+            other => Err(CompileError {
+                line,
+                message: format!("expected constant, found {other}"),
+            }),
+        }
+    }
+
+    fn var_decl(&mut self, ty: Ty, place: Place) -> Result<VarDecl, CompileError> {
+        let name = self.ident()?;
+        let mut array = None;
+        if self.eat_punct("[") {
+            let n = self.const_expr()?;
+            if n == 0 {
+                return Err(self.err("zero-length array"));
+            }
+            array = Some(n);
+            self.expect_punct("]")?;
+        }
+        let mut init = Vec::new();
+        if self.eat_punct("=") {
+            if self.eat_punct("{") {
+                loop {
+                    init.push(self.const_expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if matches!(self.peek(), Tok::Punct("}")) {
+                        break; // trailing comma
+                    }
+                }
+                self.expect_punct("}")?;
+            } else {
+                init.push(self.const_expr()?);
+            }
+        }
+        if let Some(n) = array {
+            if init.len() > usize::from(n) {
+                return Err(self.err("too many initialisers"));
+            }
+        } else if init.len() > 1 {
+            return Err(self.err("scalar with brace initialiser"));
+        }
+        self.expect_punct(";")?;
+        Ok(VarDecl {
+            name,
+            ty,
+            array,
+            init,
+            place,
+        })
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            let Some((ty, place)) = self.try_type()? else {
+                return Err(self.err(format!(
+                    "expected declaration or function, found {}",
+                    self.peek()
+                )));
+            };
+            // Look ahead: identifier then `(` means function.
+            let save = self.pos;
+            let name = self.ident()?;
+            if self.eat_punct("(") {
+                let f = self.function(ty, name)?;
+                prog.functions.push(f);
+            } else {
+                self.pos = save;
+                if ty == Ty::Void {
+                    return Err(self.err("void variable"));
+                }
+                prog.globals.push(self.var_decl(ty, place)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn function(&mut self, ret: Ty, name: String) -> Result<Function, CompileError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                if self.eat_kw(Kw::Void) && matches!(self.peek(), Tok::Punct(")")) {
+                    // `f(void)`
+                    self.bump();
+                    break;
+                }
+                let Some((ty, _)) = self.try_type()? else {
+                    return Err(self.err("expected parameter type"));
+                };
+                if ty == Ty::Void {
+                    return Err(self.err("void parameter"));
+                }
+                let pname = self.ident()?;
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct("{")?;
+
+        // Local declarations come first (C89 style, as Dynamic C expects).
+        let mut locals = Vec::new();
+        loop {
+            let save = self.pos;
+            let _ = self.eat_kw(Kw::Auto); // accepted; locals are static anyway
+            match self.try_type()? {
+                Some((ty, place)) if ty != Ty::Void => {
+                    locals.push(self.var_decl(ty, place)?);
+                }
+                Some(_) => return Err(self.err("void local")),
+                None => {
+                    self.pos = save;
+                    break;
+                }
+            }
+        }
+
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        Ok(Function {
+            name,
+            ret,
+            params,
+            locals,
+            body,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat_punct("{") {
+            let mut out = Vec::new();
+            while !self.eat_punct("}") {
+                out.push(self.stmt()?);
+            }
+            Ok(out)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        if self.eat_punct(";") {
+            // empty statement
+            return Ok(Stmt::Expr(Expr::Num(0)));
+        }
+        if self.eat_kw(Kw::If) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then = self.block()?;
+            let els = if self.eat_kw(Kw::Else) {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.eat_kw(Kw::While) {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While(cond, body));
+        }
+        if self.eat_kw(Kw::For) {
+            self.expect_punct("(")?;
+            let init = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            let step = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::For(init, cond, step, body));
+        }
+        if self.eat_kw(Kw::Return) {
+            let value = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(value));
+        }
+        if self.eat_kw(Kw::Break) {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_kw(Kw::Continue) {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        let e = self.expr()?;
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr(e))
+    }
+
+    // Expression grammar, lowest precedence first.
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, CompileError> {
+        let lhs = self.logical_or()?;
+        let op: Option<Option<BinOp>> = match self.peek() {
+            Tok::Punct("=") => Some(None),
+            Tok::Punct("+=") => Some(Some(BinOp::Add)),
+            Tok::Punct("-=") => Some(Some(BinOp::Sub)),
+            Tok::Punct("*=") => Some(Some(BinOp::Mul)),
+            Tok::Punct("/=") => Some(Some(BinOp::Div)),
+            Tok::Punct("%=") => Some(Some(BinOp::Mod)),
+            Tok::Punct("&=") => Some(Some(BinOp::And)),
+            Tok::Punct("|=") => Some(Some(BinOp::Or)),
+            Tok::Punct("^=") => Some(Some(BinOp::Xor)),
+            Tok::Punct("<<=") => Some(Some(BinOp::Shl)),
+            Tok::Punct(">>=") => Some(Some(BinOp::Shr)),
+            _ => None,
+        };
+        let Some(compound) = op else { return Ok(lhs) };
+        if !matches!(lhs, Expr::Var(_) | Expr::Index(..)) {
+            return Err(self.err("assignment target must be a variable or element"));
+        }
+        self.bump();
+        let rhs = self.assignment()?;
+        let value = match compound {
+            None => rhs,
+            Some(op) => Expr::Bin(op, Box::new(lhs.clone()), Box::new(rhs)),
+        };
+        Ok(Expr::Assign(Box::new(lhs), Box::new(value)))
+    }
+
+    fn binary_level(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        next: fn(&mut Parser) -> Result<Expr, CompileError>,
+    ) -> Result<Expr, CompileError> {
+        let mut lhs = next(self)?;
+        loop {
+            let found = ops
+                .iter()
+                .find(|(p, _)| matches!(self.peek(), Tok::Punct(q) if q == p));
+            let Some(&(_, op)) = found else { break };
+            self.bump();
+            let rhs = next(self)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("||", BinOp::LogOr)], Parser::logical_and)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("&&", BinOp::LogAnd)], Parser::bit_or)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("|", BinOp::Or)], Parser::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("^", BinOp::Xor)], Parser::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("&", BinOp::And)], Parser::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Parser::relational)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            Parser::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Parser::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            Parser::multiplicative,
+        )
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            Parser::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOp::LogNot, Box::new(self.unary()?)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let primary = self.primary()?;
+        // `x++` / `x--` as statement-level sugar: x = x + 1
+        if matches!(self.peek(), Tok::Punct("++") | Tok::Punct("--")) {
+            let inc = matches!(self.bump(), Tok::Punct("++"));
+            if !matches!(primary, Expr::Var(_) | Expr::Index(..)) {
+                return Err(self.err("++/-- target must be a variable or element"));
+            }
+            let op = if inc { BinOp::Add } else { BinOp::Sub };
+            return Ok(Expr::Assign(
+                Box::new(primary.clone()),
+                Box::new(Expr::Bin(op, Box::new(primary), Box::new(Expr::Num(1)))),
+            ));
+        }
+        Ok(primary)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.bump() {
+            Tok::Num(n) => Ok(Expr::Num(n)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else if self.eat_punct("[") {
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(CompileError {
+                line,
+                message: format!("unexpected {other} in expression"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_main() {
+        let prog = parse(
+            "root char table[4] = {1, 2, 3, 4};\n\
+             int total;\n\
+             int main() { int i; total = 0; for (i = 0; i < 4; i++) total += table[i]; return total; }",
+        )
+        .unwrap();
+        assert_eq!(prog.globals.len(), 2);
+        assert_eq!(prog.globals[0].place, Place::Root);
+        assert_eq!(prog.globals[0].init, vec![1, 2, 3, 4]);
+        let main = prog.function("main").unwrap();
+        assert_eq!(main.locals.len(), 1);
+        assert_eq!(main.body.len(), 3);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let prog = parse("int main() { return 2 + 3 * 4; }").unwrap();
+        let Stmt::Return(Some(Expr::Bin(BinOp::Add, _, rhs))) = &prog.functions[0].body[0] else {
+            panic!("shape");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let prog = parse("int x; int main() { x ^= 5; }").unwrap();
+        let Stmt::Expr(Expr::Assign(_, rhs)) = &prog.functions[0].body[0] else {
+            panic!("shape");
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Xor, _, _)));
+    }
+
+    #[test]
+    fn functions_with_params() {
+        let prog = parse("char f(char a, int b) { return a + b; } int main() { return f(1, 2); }")
+            .unwrap();
+        assert_eq!(prog.functions[0].params.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_assignment_target() {
+        assert!(parse("int main() { 5 = 6; }").is_err());
+    }
+
+    #[test]
+    fn parses_if_else_chains() {
+        let prog = parse(
+            "int main() { int x; if (x == 1) x = 2; else { x = 3; } while (x) x--; return x; }",
+        )
+        .unwrap();
+        assert_eq!(prog.functions[0].body.len(), 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! The peephole optimizer behind the `peephole` compiler switch — the
+//! "enabling compiler optimization" arm of the paper's E2 sweep.
+//!
+//! Works on assembly text lines, repeatedly applying local rewrites until
+//! a fixed point:
+//!
+//! * `push hl` / `pop hl` pairs cancel.
+//! * `push hl; ld hl, X; ex de, hl; pop hl` → `ld de, X` (the staging
+//!   pattern the naive generator emits for every binary operation whose
+//!   right operand is a constant or simple load).
+//! * A store immediately followed by a reload of the same location drops
+//!   the reload.
+//! * Jumps to the next instruction vanish; `jp` to a label that is itself
+//!   an unconditional `jp` is threaded.
+//! * `bool hl` immediately after a comparison that already produced a
+//!   0/1 value is dropped.
+
+use std::collections::HashMap;
+
+fn trimmed(line: &str) -> &str {
+    line.trim()
+}
+
+fn is_label(line: &str) -> bool {
+    trimmed(line).ends_with(':')
+}
+
+fn label_name(line: &str) -> &str {
+    trimmed(line).trim_end_matches(':')
+}
+
+/// One optimization pass. Returns the new lines and whether anything
+/// changed.
+fn pass(lines: &[String]) -> (Vec<String>, bool) {
+    let mut out: Vec<String> = Vec::with_capacity(lines.len());
+    let mut changed = false;
+    let mut i = 0;
+
+    // Label -> first meaningful line after it (for jump threading).
+    let mut label_target: HashMap<String, usize> = HashMap::new();
+    for (idx, l) in lines.iter().enumerate() {
+        if is_label(l) {
+            label_target.insert(label_name(l).to_string(), idx);
+        }
+    }
+    let next_insn = |mut idx: usize| -> Option<&str> {
+        loop {
+            idx += 1;
+            let l = lines.get(idx)?;
+            if !is_label(l) && !trimmed(l).is_empty() {
+                return Some(trimmed(l));
+            }
+        }
+    };
+
+    while i < lines.len() {
+        let cur = trimmed(&lines[i]);
+
+        // push hl / pop hl  (nothing between)
+        if cur == "push hl" && i + 1 < lines.len() && trimmed(&lines[i + 1]) == "pop hl" {
+            i += 2;
+            changed = true;
+            continue;
+        }
+
+        // push hl; ld hl, X; ex de, hl; pop hl  ->  ld de, X
+        if cur == "push hl" && i + 3 < lines.len() {
+            let a = trimmed(&lines[i + 1]);
+            let b = trimmed(&lines[i + 2]);
+            let c = trimmed(&lines[i + 3]);
+            if b == "ex de, hl" && c == "pop hl" {
+                if let Some(rest) = a.strip_prefix("ld hl, ") {
+                    // Safe for immediates and direct loads alike: DE gets
+                    // the right operand, HL keeps the left one.
+                    out.push(format!("        ld de, {rest}"));
+                    i += 4;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // ld (X), hl ; ld hl, (X)  -> drop the reload
+        if let Some(store) = cur.strip_prefix("ld (") {
+            if let Some(loc) = store.strip_suffix("), hl") {
+                if i + 1 < lines.len() && trimmed(&lines[i + 1]) == format!("ld hl, ({loc})") {
+                    out.push(lines[i].clone());
+                    i += 2;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+        // ld (X), a ; ld a, (X)  -> drop the reload
+        if let Some(store) = cur.strip_prefix("ld (") {
+            if let Some(loc) = store.strip_suffix("), a") {
+                if i + 1 < lines.len() && trimmed(&lines[i + 1]) == format!("ld a, ({loc})") {
+                    out.push(lines[i].clone());
+                    i += 2;
+                    changed = true;
+                    continue;
+                }
+            }
+        }
+
+        // ex de, hl ; ex de, hl -> nothing
+        if cur == "ex de, hl" && i + 1 < lines.len() && trimmed(&lines[i + 1]) == "ex de, hl" {
+            i += 2;
+            changed = true;
+            continue;
+        }
+
+        // bool hl ; bool hl -> one
+        if cur == "bool hl" && i + 1 < lines.len() && trimmed(&lines[i + 1]) == "bool hl" {
+            out.push(lines[i].clone());
+            i += 2;
+            changed = true;
+            continue;
+        }
+
+        // jp L where L labels the next instruction -> drop
+        if let Some(target) = cur.strip_prefix("jp ") {
+            if !target.contains(',') {
+                if let Some(&lidx) = label_target.get(target) {
+                    // is the label between here and the next instruction?
+                    let mut j = i + 1;
+                    let mut falls_through = false;
+                    while j < lines.len() {
+                        let l = trimmed(&lines[j]);
+                        if is_label(&lines[j]) {
+                            if j == lidx {
+                                falls_through = true;
+                            }
+                            j += 1;
+                            continue;
+                        }
+                        if l.is_empty() {
+                            j += 1;
+                            continue;
+                        }
+                        break;
+                    }
+                    if falls_through {
+                        i += 1;
+                        changed = true;
+                        continue;
+                    }
+                    // jump threading: jp L; ... L: jp M  => jp M
+                    if let Some(next) = next_insn(lidx) {
+                        if let Some(thread) = next.strip_prefix("jp ") {
+                            if !thread.contains(',') && thread != target {
+                                out.push(format!("        jp {thread}"));
+                                i += 1;
+                                changed = true;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        out.push(lines[i].clone());
+        i += 1;
+    }
+    (out, changed)
+}
+
+/// Optimizes assembly text to a fixed point (bounded pass count).
+pub fn optimize(asm: &str) -> String {
+    let mut lines: Vec<String> = asm.lines().map(str::to_string).collect();
+    for _ in 0..16 {
+        let (next, changed) = pass(&lines);
+        lines = next;
+        if !changed {
+            break;
+        }
+    }
+    lines.join("\n") + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancels_push_pop() {
+        let out = optimize("        push hl\n        pop hl\n        ret\n");
+        assert_eq!(out.trim(), "ret");
+    }
+
+    #[test]
+    fn rewrites_constant_staging() {
+        let src = "        push hl\n        ld hl, 0x0005\n        ex de, hl\n        pop hl\n        add hl, de\n";
+        let out = optimize(src);
+        assert!(out.contains("ld de, 0x0005"), "{out}");
+        assert!(!out.contains("push hl"), "{out}");
+    }
+
+    #[test]
+    fn drops_reload_after_store() {
+        let src = "        ld (x), hl\n        ld hl, (x)\n        ret\n";
+        let out = optimize(src);
+        assert_eq!(out.matches("ld").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn drops_jump_to_next() {
+        let src = "        jp Lend\nLend:\n        ret\n";
+        let out = optimize(src);
+        assert!(!out.contains("jp"), "{out}");
+    }
+
+    #[test]
+    fn threads_jump_chains() {
+        let src =
+            "        jp L1\n        ld hl, 1\nL1:\n        jp L2\n        nop\nL2:\n        ret\n";
+        let out = optimize(src);
+        assert!(out.contains("jp L2"), "{out}");
+    }
+
+    #[test]
+    fn keeps_semantics_of_unrelated_code() {
+        let src = "        push hl\n        call f\n        pop hl\n";
+        let out = optimize(src);
+        assert!(out.contains("push hl") && out.contains("pop hl"), "{out}");
+    }
+}

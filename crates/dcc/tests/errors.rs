@@ -1,0 +1,111 @@
+//! Error-path tests: the compiler must reject bad programs with useful
+//! diagnostics, never panic or emit garbage.
+
+use dcc::{build, compile, parse, Options};
+
+fn compile_err(src: &str) -> String {
+    match compile(src, Options::baseline()) {
+        Err(e) => e.to_string(),
+        Ok(asm) => panic!("expected a compile error, got:\n{asm}"),
+    }
+}
+
+#[test]
+fn undefined_variable() {
+    let e = compile_err("int main() { return nope; }");
+    assert!(e.contains("nope"), "{e}");
+}
+
+#[test]
+fn undefined_function() {
+    let e = compile_err("int main() { return missing(1); }");
+    assert!(e.contains("missing"), "{e}");
+}
+
+#[test]
+fn arity_mismatch() {
+    let e = compile_err("int f(int a) { return a; } int main() { return f(1, 2); }");
+    assert!(e.contains("argument"), "{e}");
+}
+
+#[test]
+fn assignment_to_array_name() {
+    let e = compile_err("char t[4]; int main() { t = 5; return 0; }");
+    assert!(e.contains("array"), "{e}");
+}
+
+#[test]
+fn indexing_a_scalar() {
+    let e = compile_err("int x; int main() { return x[0]; }");
+    assert!(e.contains("not an array"), "{e}");
+}
+
+#[test]
+fn break_outside_loop() {
+    let e = compile_err("int main() { break; }");
+    assert!(e.contains("break"), "{e}");
+}
+
+#[test]
+fn continue_outside_loop() {
+    let e = compile_err("int main() { continue; }");
+    assert!(e.contains("continue"), "{e}");
+}
+
+#[test]
+fn parse_errors_carry_line_numbers() {
+    let err = parse("int main() {\n  int x;\n  x = ;\n}").unwrap_err();
+    assert_eq!(err.line, 3, "{err}");
+}
+
+#[test]
+fn lexer_rejects_bad_characters() {
+    let err = parse("int main() { return 1 @ 2; }").unwrap_err();
+    assert!(err.to_string().contains('@'), "{err}");
+}
+
+#[test]
+fn oversized_literals_rejected() {
+    assert!(parse("int main() { return 99999; }").is_err());
+}
+
+#[test]
+fn too_many_initialisers_rejected() {
+    assert!(parse("char t[2] = {1, 2, 3};").is_err());
+}
+
+#[test]
+fn zero_length_arrays_rejected() {
+    assert!(parse("char t[0];").is_err());
+}
+
+#[test]
+fn void_variables_rejected() {
+    assert!(parse("void v;").is_err());
+}
+
+#[test]
+fn locals_shadowing_globals_resolve_to_the_local() {
+    // not an error — but the resolution order must be local-first
+    let src = "int x = 7;\nint f() { int x; x = 3; return x; }\nint main() { return f() + x; }";
+    let b = build(src, Options::baseline()).expect("builds");
+    assert_eq!(b.run(10_000_000).expect("runs").result, 10);
+}
+
+#[test]
+fn every_option_set_rejects_the_same_programs() {
+    let bad = "int main() { return nope; }";
+    for opts in [
+        Options::baseline(),
+        Options::all_optimizations(),
+        Options {
+            unroll: true,
+            ..Options::baseline()
+        },
+    ] {
+        assert!(
+            compile(bad, opts).is_err(),
+            "{opts:?} accepted a bad program"
+        );
+    }
+}

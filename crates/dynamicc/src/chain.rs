@@ -1,0 +1,139 @@
+//! Function chains (paper §4.4): named chains of code segments that all
+//! execute when the chain is invoked (`#makechain` / `#funcchain`).
+
+use std::collections::BTreeMap;
+
+/// A registry of named function chains over a context type `C`.
+///
+/// ```
+/// use dynamicc::chain::FunctionChains;
+///
+/// let mut chains: FunctionChains<Vec<&'static str>> = FunctionChains::new();
+/// chains.make_chain("recover");
+/// chains.func_chain("recover", |log| log.push("free_memory"));
+/// chains.func_chain("recover", |log| log.push("declare_memory"));
+/// chains.func_chain("recover", |log| log.push("initialize"));
+///
+/// let mut log = Vec::new();
+/// chains.invoke("recover", &mut log).unwrap();
+/// assert_eq!(log, ["free_memory", "declare_memory", "initialize"]);
+/// ```
+/// One registered chain segment.
+type Segment<C> = Box<dyn FnMut(&mut C)>;
+
+pub struct FunctionChains<C> {
+    chains: BTreeMap<String, Vec<Segment<C>>>,
+}
+
+/// Error invoking a chain that was never declared with `make_chain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownChain(pub String);
+
+impl std::fmt::Display for UnknownChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown function chain `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownChain {}
+
+impl<C> FunctionChains<C> {
+    /// Creates an empty registry.
+    pub fn new() -> FunctionChains<C> {
+        FunctionChains {
+            chains: BTreeMap::new(),
+        }
+    }
+
+    /// `#makechain name`: declares an (initially empty) chain. Declaring
+    /// twice is harmless.
+    pub fn make_chain(&mut self, name: &str) {
+        self.chains.entry(name.to_string()).or_default();
+    }
+
+    /// `#funcchain name segment`: appends a segment to a chain, declaring
+    /// the chain if needed.
+    pub fn func_chain<F: FnMut(&mut C) + 'static>(&mut self, name: &str, segment: F) {
+        self.chains
+            .entry(name.to_string())
+            .or_default()
+            .push(Box::new(segment));
+    }
+
+    /// Invokes every segment of `name`, in registration order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownChain`] if the chain was never declared.
+    pub fn invoke(&mut self, name: &str, ctx: &mut C) -> Result<usize, UnknownChain> {
+        let segs = self
+            .chains
+            .get_mut(name)
+            .ok_or_else(|| UnknownChain(name.to_string()))?;
+        for seg in segs.iter_mut() {
+            seg(ctx);
+        }
+        Ok(segs.len())
+    }
+
+    /// Number of segments registered on `name`.
+    pub fn len(&self, name: &str) -> usize {
+        self.chains.get(name).map_or(0, Vec::len)
+    }
+
+    /// Whether `name` has no segments (or does not exist).
+    pub fn is_empty(&self, name: &str) -> bool {
+        self.len(name) == 0
+    }
+}
+
+impl<C> Default for FunctionChains<C> {
+    fn default() -> FunctionChains<C> {
+        FunctionChains::new()
+    }
+}
+
+impl<C> std::fmt::Debug for FunctionChains<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let summary: Vec<(&str, usize)> = self
+            .chains
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.len()))
+            .collect();
+        f.debug_struct("FunctionChains")
+            .field("chains", &summary)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_run_in_registration_order() {
+        let mut chains: FunctionChains<Vec<u8>> = FunctionChains::new();
+        chains.func_chain("boot", |v| v.push(1));
+        chains.func_chain("boot", |v| v.push(2));
+        let mut ctx = Vec::new();
+        assert_eq!(chains.invoke("boot", &mut ctx), Ok(2));
+        assert_eq!(ctx, [1, 2]);
+    }
+
+    #[test]
+    fn unknown_chain_is_an_error() {
+        let mut chains: FunctionChains<()> = FunctionChains::new();
+        assert_eq!(
+            chains.invoke("nope", &mut ()),
+            Err(UnknownChain("nope".into()))
+        );
+    }
+
+    #[test]
+    fn empty_declared_chain_invokes_zero_segments() {
+        let mut chains: FunctionChains<()> = FunctionChains::new();
+        chains.make_chain("empty");
+        assert_eq!(chains.invoke("empty", &mut ()), Ok(0));
+        assert!(chains.is_empty("empty"));
+    }
+}

@@ -1,0 +1,367 @@
+//! Costatements: Dynamic C's cooperative multitasking primitive.
+//!
+//! Dynamic C gives each costatement an independent program counter and
+//! switches between them only at explicit `yield` / `waitfor` points (the
+//! paper's §4.2). This module reproduces those semantics with one OS
+//! thread per costatement and a scheduler that permits exactly one body to
+//! run at a time, handing control back and forth synchronously — execution
+//! is therefore deterministic round-robin, just like the language feature.
+//!
+//! ```
+//! use dynamicc::costate::Scheduler;
+//! use std::sync::{Arc, atomic::{AtomicU32, Ordering}};
+//!
+//! let counter = Arc::new(AtomicU32::new(0));
+//! let mut sched = Scheduler::new();
+//! for _ in 0..3 {
+//!     let counter = Arc::clone(&counter);
+//!     sched.spawn("worker", move |co| {
+//!         for _ in 0..5 {
+//!             counter.fetch_add(1, Ordering::SeqCst);
+//!             co.yield_now(); // force context switch, as in the paper
+//!         }
+//!     });
+//! }
+//! sched.run_to_completion(1_000);
+//! assert_eq!(counter.load(Ordering::SeqCst), 15);
+//! ```
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Whose turn it is to run on a costatement's baton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    Scheduler,
+    Costate,
+    Finished,
+    Killed,
+}
+
+#[derive(Debug)]
+struct Baton {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+impl Baton {
+    fn new() -> Baton {
+        Baton {
+            turn: Mutex::new(Turn::Scheduler),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn hand_to_costate(&self) -> Turn {
+        let mut turn = self.turn.lock().expect("baton lock");
+        if matches!(*turn, Turn::Finished | Turn::Killed) {
+            return *turn;
+        }
+        *turn = Turn::Costate;
+        self.cv.notify_all();
+        while *turn == Turn::Costate {
+            turn = self.cv.wait(turn).expect("baton wait");
+        }
+        *turn
+    }
+
+    fn hand_to_scheduler(&self) {
+        let mut turn = self.turn.lock().expect("baton lock");
+        if *turn == Turn::Costate {
+            *turn = Turn::Scheduler;
+        }
+        self.cv.notify_all();
+        while *turn == Turn::Scheduler {
+            turn = self.cv.wait(turn).expect("baton wait");
+        }
+        if *turn == Turn::Killed {
+            drop(turn);
+            panic::panic_any(CoKilled);
+        }
+    }
+
+    fn wait_first_slice(&self) {
+        let mut turn = self.turn.lock().expect("baton lock");
+        while *turn != Turn::Costate {
+            if *turn == Turn::Killed {
+                drop(turn);
+                panic::panic_any(CoKilled);
+            }
+            turn = self.cv.wait(turn).expect("baton wait");
+        }
+    }
+
+    fn finish(&self, outcome: Turn) {
+        let mut turn = self.turn.lock().expect("baton lock");
+        *turn = outcome;
+        self.cv.notify_all();
+    }
+
+    fn kill(&self) {
+        let mut turn = self.turn.lock().expect("baton lock");
+        if !matches!(*turn, Turn::Finished) {
+            *turn = Turn::Killed;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// Sentinel payload unwound through a killed costatement's stack.
+struct CoKilled;
+
+/// Installs (once) a panic hook that keeps [`CoKilled`] unwinds silent —
+/// they are routine teardown, not failures — while delegating every other
+/// panic to the previously installed hook.
+fn install_quiet_kill_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CoKilled>() {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// The handle a costatement body uses to cooperate.
+///
+/// Mirrors Dynamic C's `yield` statement and `waitfor(expr)` construct.
+#[derive(Clone)]
+pub struct Co {
+    baton: Arc<Baton>,
+}
+
+impl Co {
+    /// Immediately passes control to the next costatement (`yield`).
+    /// Control returns here on this costatement's next slice.
+    pub fn yield_now(&self) {
+        self.baton.hand_to_scheduler();
+    }
+
+    /// `waitfor(expr)`: equivalent to `while (!expr) yield;` per the
+    /// paper. The predicate is re-evaluated once per scheduler round.
+    pub fn waitfor<F: FnMut() -> bool>(&self, mut pred: F) {
+        while !pred() {
+            self.yield_now();
+        }
+    }
+}
+
+/// Identifier of a spawned costatement within its scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostateId(usize);
+
+struct Slot {
+    id: CostateId,
+    name: String,
+    baton: Arc<Baton>,
+    thread: Option<JoinHandle<()>>,
+    done: bool,
+}
+
+/// A deterministic round-robin scheduler of costatements.
+///
+/// `tick` gives every live costatement exactly one slice, in spawn order —
+/// the behaviour of a Dynamic C main loop whose body lists one costatement
+/// after another.
+#[derive(Default)]
+pub struct Scheduler {
+    slots: Vec<Slot>,
+    next_id: usize,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Scheduler {
+        Scheduler::default()
+    }
+
+    /// Spawns a costatement. The body starts executing on its first slice,
+    /// not at spawn time.
+    pub fn spawn<F>(&mut self, name: &str, body: F) -> CostateId
+    where
+        F: FnOnce(Co) + Send + 'static,
+    {
+        install_quiet_kill_hook();
+        let id = CostateId(self.next_id);
+        self.next_id += 1;
+        let baton = Arc::new(Baton::new());
+        let thread_baton = Arc::clone(&baton);
+        let thread = std::thread::Builder::new()
+            .name(format!("costate-{name}"))
+            .spawn(move || {
+                let co = Co {
+                    baton: Arc::clone(&thread_baton),
+                };
+                thread_baton.wait_first_slice();
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| body(co)));
+                match outcome {
+                    Ok(()) => thread_baton.finish(Turn::Finished),
+                    Err(payload) => {
+                        thread_baton.finish(Turn::Finished);
+                        if !payload.is::<CoKilled>() {
+                            panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            })
+            .expect("spawn costate thread");
+        self.slots.push(Slot {
+            id,
+            name: name.to_string(),
+            baton,
+            thread: Some(thread),
+            done: false,
+        });
+        id
+    }
+
+    /// Runs one scheduler round: every live costatement gets one slice.
+    /// Returns the number of costatements still alive afterwards.
+    pub fn tick(&mut self) -> usize {
+        for slot in &mut self.slots {
+            if slot.done {
+                continue;
+            }
+            let turn = slot.baton.hand_to_costate();
+            if matches!(turn, Turn::Finished | Turn::Killed) {
+                slot.done = true;
+                if let Some(t) = slot.thread.take() {
+                    let _ = t.join();
+                }
+            }
+        }
+        self.alive()
+    }
+
+    /// Number of costatements that have not finished.
+    pub fn alive(&self) -> usize {
+        self.slots.iter().filter(|s| !s.done).count()
+    }
+
+    /// Whether a particular costatement has finished.
+    pub fn is_done(&self, id: CostateId) -> bool {
+        self.slots
+            .iter()
+            .find(|s| s.id == id)
+            .is_none_or(|s| s.done)
+    }
+
+    /// Name given to a costatement at spawn time.
+    pub fn name(&self, id: CostateId) -> Option<&str> {
+        self.slots
+            .iter()
+            .find(|s| s.id == id)
+            .map(|s| s.name.as_str())
+    }
+
+    /// Ticks until every costatement finishes or `max_ticks` rounds pass.
+    /// Returns true when all finished.
+    pub fn run_to_completion(&mut self, max_ticks: usize) -> bool {
+        for _ in 0..max_ticks {
+            if self.tick() == 0 {
+                return true;
+            }
+        }
+        self.alive() == 0
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if !slot.done {
+                slot.baton.kill();
+            }
+            if let Some(t) = slot.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn round_robin_interleaves_in_spawn_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sched = Scheduler::new();
+        for name in ["a", "b", "c"] {
+            let log = Arc::clone(&log);
+            sched.spawn(name, move |co| {
+                for i in 0..2 {
+                    log.lock().unwrap().push(format!("{name}{i}"));
+                    co.yield_now();
+                }
+            });
+        }
+        assert!(sched.run_to_completion(100));
+        let got = log.lock().unwrap().clone();
+        assert_eq!(got, vec!["a0", "b0", "c0", "a1", "b1", "c1"]);
+    }
+
+    #[test]
+    fn waitfor_parks_until_predicate_holds() {
+        let flag = Arc::new(AtomicU32::new(0));
+        let seen = Arc::new(AtomicU32::new(0));
+        let mut sched = Scheduler::new();
+        {
+            let flag = Arc::clone(&flag);
+            let seen = Arc::clone(&seen);
+            sched.spawn("waiter", move |co| {
+                co.waitfor(|| flag.load(Ordering::SeqCst) >= 3);
+                seen.store(1, Ordering::SeqCst);
+            });
+        }
+        {
+            let flag = Arc::clone(&flag);
+            sched.spawn("setter", move |co| {
+                for _ in 0..3 {
+                    flag.fetch_add(1, Ordering::SeqCst);
+                    co.yield_now();
+                }
+            });
+        }
+        assert!(sched.run_to_completion(100));
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn finished_costates_are_skipped() {
+        let mut sched = Scheduler::new();
+        let id = sched.spawn("quick", |_co| {});
+        sched.spawn("slow", |co| {
+            for _ in 0..5 {
+                co.yield_now();
+            }
+        });
+        sched.tick();
+        assert!(sched.is_done(id));
+        assert_eq!(sched.alive(), 1);
+        assert!(sched.run_to_completion(100));
+    }
+
+    #[test]
+    fn dropping_scheduler_reaps_unfinished_costates() {
+        let mut sched = Scheduler::new();
+        sched.spawn("immortal", |co| loop {
+            co.yield_now();
+        });
+        sched.tick();
+        drop(sched); // must not hang or leak a blocked thread
+    }
+
+    #[test]
+    fn names_are_recorded() {
+        let mut sched = Scheduler::new();
+        let id = sched.spawn("handler", |_| {});
+        assert_eq!(sched.name(id), Some("handler"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The runtime error-handler hook (paper §4.1): Dynamic C has no operating
+//! system to field hardware exceptions, so firmware registers a handler
+//! with `defineErrorHandler(void *errfcn)` and the hardware pushes the
+//! source and type of error before calling it.
+
+use std::sync::{Arc, Mutex};
+
+/// The runtime errors the Rabbit hardware/libraries raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Integer divide by zero (library-raised).
+    DivideByZero,
+    /// An undefined opcode reached the CPU.
+    InvalidOpcode,
+    /// Stack pointer escaped the stack segment.
+    StackFault,
+    /// Library assertion (range error, bad argument).
+    LibraryError,
+    /// Watchdog expiry.
+    Watchdog,
+}
+
+/// Information pushed on the stack for the handler, per the paper: "the
+/// hardware passes information about the source and type of error on the
+/// stack and calls this user-defined error handler".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorInfo {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// Address (or best-effort origin) of the fault.
+    pub address: u16,
+    /// Raw auxiliary word (opcode byte, divisor, …).
+    pub aux: u16,
+}
+
+/// What the handler tells the runtime to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Disposition {
+    /// Ignore and continue — what the paper's port did: "Because our
+    /// application was not designed for high reliability, we simply
+    /// ignored most errors."
+    #[default]
+    Ignore,
+    /// Reset the application (possibly preserving `protected` state).
+    Reset,
+    /// Halt the system.
+    Halt,
+}
+
+type Handler = dyn FnMut(ErrorInfo) -> Disposition + Send;
+
+/// The error-handler registry; clone handles share the same handler.
+#[derive(Clone, Default)]
+pub struct ErrorHandler {
+    inner: Arc<Mutex<ErrorHandlerInner>>,
+}
+
+#[derive(Default)]
+struct ErrorHandlerInner {
+    handler: Option<Box<Handler>>,
+    raised: Vec<ErrorInfo>,
+}
+
+impl ErrorHandler {
+    /// Creates a registry with no handler installed (faults are ignored,
+    /// but still recorded for inspection).
+    pub fn new() -> ErrorHandler {
+        ErrorHandler::default()
+    }
+
+    /// `defineErrorHandler`: installs (or replaces) the handler.
+    pub fn define<F: FnMut(ErrorInfo) -> Disposition + Send + 'static>(&self, handler: F) {
+        self.inner.lock().expect("error handler lock").handler = Some(Box::new(handler));
+    }
+
+    /// Raises an error: invokes the handler if installed, else ignores.
+    /// Every raise is recorded.
+    pub fn raise(&self, info: ErrorInfo) -> Disposition {
+        let mut inner = self.inner.lock().expect("error handler lock");
+        inner.raised.push(info);
+        match inner.handler.as_mut() {
+            Some(h) => h(info),
+            None => Disposition::Ignore,
+        }
+    }
+
+    /// Every error raised so far, oldest first.
+    pub fn raised(&self) -> Vec<ErrorInfo> {
+        self.inner
+            .lock()
+            .expect("error handler lock")
+            .raised
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for ErrorHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("error handler lock");
+        f.debug_struct("ErrorHandler")
+            .field("installed", &inner.handler.is_some())
+            .field("raised", &inner.raised.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(kind: ErrorKind) -> ErrorInfo {
+        ErrorInfo {
+            kind,
+            address: 0x4000,
+            aux: 0,
+        }
+    }
+
+    #[test]
+    fn unhandled_errors_are_ignored_but_recorded() {
+        let eh = ErrorHandler::new();
+        assert_eq!(eh.raise(info(ErrorKind::DivideByZero)), Disposition::Ignore);
+        assert_eq!(eh.raised().len(), 1);
+    }
+
+    #[test]
+    fn handler_sees_info_and_chooses_disposition() {
+        let eh = ErrorHandler::new();
+        eh.define(|i| {
+            if i.kind == ErrorKind::Watchdog {
+                Disposition::Reset
+            } else {
+                Disposition::Ignore
+            }
+        });
+        assert_eq!(eh.raise(info(ErrorKind::LibraryError)), Disposition::Ignore);
+        assert_eq!(eh.raise(info(ErrorKind::Watchdog)), Disposition::Reset);
+    }
+
+    #[test]
+    fn clones_share_the_handler() {
+        let eh = ErrorHandler::new();
+        let eh2 = eh.clone();
+        eh.define(|_| Disposition::Halt);
+        assert_eq!(eh2.raise(info(ErrorKind::StackFault)), Disposition::Halt);
+        assert_eq!(eh.raised().len(), 1);
+    }
+}

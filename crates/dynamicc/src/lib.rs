@@ -1,0 +1,34 @@
+//! A Rust model of the **Dynamic C** runtime — the ANSI-C variant shipped
+//! with Rabbit Semiconductor's microcontrollers — as described in §4 of
+//! *Porting a Network Cryptographic Service to the RMC2000* (DATE 2003).
+//!
+//! The porting difficulties the paper catalogues are mostly properties of
+//! this runtime rather than of the silicon:
+//!
+//! * **Costatements/cofunctions** ([`costate`]): cooperative multitasking
+//!   with `yield` and `waitfor`, which replaced the Unix `fork`/`accept`
+//!   server structure and capped the port at three simultaneous
+//!   connections (Figure 3).
+//! * **`xalloc` without `free`** ([`xmem`]): forced the authors to remove
+//!   all `malloc` uses and statically allocate, dropping multi-key/block
+//!   support from issl.
+//! * **`shared` / `protected` storage classes** ([`storage`]): atomic
+//!   multibyte updates and battery-backed shadows.
+//! * **Function chains** ([`chain`]): `#makechain`/`#funcchain`.
+//! * **`defineErrorHandler`** ([`error`]): the hook that replaces OS
+//!   signal handling; the paper's port "simply ignored most errors".
+//!
+//! Dynamic C's *preemptive* options (`slice`, µC/OS-II) are deliberately
+//! not modelled: the paper's port did not use them.
+
+pub mod chain;
+pub mod costate;
+pub mod error;
+pub mod storage;
+pub mod xmem;
+
+pub use chain::{FunctionChains, UnknownChain};
+pub use costate::{Co, CostateId, Scheduler};
+pub use error::{Disposition, ErrorHandler, ErrorInfo, ErrorKind};
+pub use storage::{Placement, Protected, Shared};
+pub use xmem::{OutOfXmem, XPtr, Xalloc};

@@ -1,0 +1,134 @@
+//! The Dynamic C storage-class specifiers (paper §4.3): `shared` and
+//! `protected` variables, and root/xmem placement tags.
+
+use std::sync::{Arc, Mutex};
+
+/// A `shared` variable: Dynamic C disables interrupts while a multibyte
+/// `shared` variable is changed so updates are atomic.
+///
+/// The Rust model wraps the value in a mutex; since the costatement
+/// scheduler runs one body at a time and ISRs are modelled as ordinary
+/// readers, lock contention is nil, but torn reads are impossible — the
+/// same guarantee the keyword gives.
+#[derive(Debug, Clone, Default)]
+pub struct Shared<T: Copy> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T: Copy> Shared<T> {
+    /// Wraps an initial value.
+    pub fn new(value: T) -> Shared<T> {
+        Shared {
+            inner: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    /// Atomically reads the value.
+    pub fn get(&self) -> T {
+        *self.inner.lock().expect("shared variable lock")
+    }
+
+    /// Atomically replaces the value.
+    pub fn set(&self, value: T) {
+        *self.inner.lock().expect("shared variable lock") = value;
+    }
+
+    /// Atomically applies `f` to the value (a multi-byte read-modify-write
+    /// that an interrupt can never split).
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock().expect("shared variable lock"))
+    }
+}
+
+/// A `protected` variable: Dynamic C copies the value to battery-backed
+/// RAM before every modification; `_sysIsSoftReset` restores the backups
+/// after a reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protected<T: Clone> {
+    value: T,
+    backup: T,
+}
+
+impl<T: Clone> Protected<T> {
+    /// Wraps an initial value (also used as the initial backup).
+    pub fn new(value: T) -> Protected<T> {
+        Protected {
+            backup: value.clone(),
+            value,
+        }
+    }
+
+    /// Reads the live value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Writes the live value, first checkpointing the old value to the
+    /// battery-backed shadow — exactly the keyword's code-generation
+    /// contract.
+    pub fn set(&mut self, value: T) {
+        self.backup = self.value.clone();
+        self.value = value;
+    }
+
+    /// Simulates an unexpected reset mid-update: the live value is lost
+    /// (replaced by `garbage`), the backup survives.
+    pub fn corrupt(&mut self, garbage: T) {
+        self.value = garbage;
+    }
+
+    /// `_sysIsSoftReset()`: restores the live value from the backup.
+    pub fn restore(&mut self) {
+        self.value = self.backup.clone();
+    }
+}
+
+/// Placement of a function or datum in the Rabbit memory map (the `root` /
+/// `xmem` storage-class specifiers of §4.3).
+///
+/// Root placement avoids the XPC window switch on access, which is why the
+/// authors moved AES tables to root memory during the E2 optimization
+/// sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Lower 52 KiB, always mapped: cheapest access.
+    Root,
+    /// Bank-switched extended memory behind the XPC window.
+    #[default]
+    Xmem,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_update_is_read_modify_write() {
+        let v = Shared::new(10u32);
+        v.update(|x| *x += 5);
+        assert_eq!(v.get(), 15);
+    }
+
+    #[test]
+    fn shared_clones_alias() {
+        let a = Shared::new(1u16);
+        let b = a.clone();
+        b.set(7);
+        assert_eq!(a.get(), 7);
+    }
+
+    #[test]
+    fn protected_survives_reset_mid_update() {
+        let mut state = Protected::new(100u32);
+        state.set(200); // backup now holds 100
+        state.set(300); // backup now holds 200
+        state.corrupt(0xDEAD_BEEF); // power glitch mid-write
+        state.restore();
+        assert_eq!(*state.get(), 200);
+    }
+
+    #[test]
+    fn placement_defaults_to_xmem() {
+        assert_eq!(Placement::default(), Placement::Xmem);
+    }
+}

@@ -1,0 +1,186 @@
+//! `xalloc`: Dynamic C's extended-memory allocator.
+//!
+//! The paper's §5.2: *"Dynamic C does not support the standard library
+//! functions `malloc` and `free`. Instead, it provides the `xalloc`
+//! function that allocates extended memory only … More seriously, there is
+//! no analogue to `free`; allocated memory cannot be returned to a pool."*
+//!
+//! [`Xalloc`] reproduces exactly that: a bump allocator over a fixed
+//! arena, deliberately without a `free`. The ported issl profile uses it
+//! once at start-up and then never allocates — the restructuring the paper
+//! describes.
+
+use std::fmt;
+
+/// An opaque handle to an extended-memory allocation.
+///
+/// Like the address `xalloc` returns on the Rabbit, a handle supports no
+/// pointer arithmetic; it only indexes back into the arena it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XPtr {
+    offset: u32,
+    len: u32,
+}
+
+impl XPtr {
+    /// Length of the allocation in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset of the allocation within its arena (the "physical address").
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+}
+
+/// The error returned when the arena is exhausted.
+///
+/// There being no `free`, exhaustion is permanent — the condition that
+/// forced the authors to statically allocate everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfXmem {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes remaining in the arena.
+    pub remaining: usize,
+}
+
+impl fmt::Display for OutOfXmem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xalloc of {} bytes failed with {} remaining (xalloc has no free)",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for OutOfXmem {}
+
+/// A fixed-size extended-memory arena with a bump allocator and no `free`.
+pub struct Xalloc {
+    arena: Vec<u8>,
+    next: usize,
+    allocations: u64,
+}
+
+impl Xalloc {
+    /// Creates an arena of `size` bytes. The RMC2000's usable xmem after
+    /// the TCP/IP stack is on the order of tens of KiB.
+    pub fn new(size: usize) -> Xalloc {
+        Xalloc {
+            arena: vec![0; size],
+            next: 0,
+            allocations: 0,
+        }
+    }
+
+    /// Allocates `len` bytes, zero-initialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfXmem`] when fewer than `len` bytes remain. There is
+    /// deliberately no way to free.
+    pub fn alloc(&mut self, len: usize) -> Result<XPtr, OutOfXmem> {
+        if len > self.arena.len() - self.next {
+            return Err(OutOfXmem {
+                requested: len,
+                remaining: self.remaining(),
+            });
+        }
+        let ptr = XPtr {
+            offset: self.next as u32,
+            len: len as u32,
+        };
+        self.next += len;
+        self.allocations += 1;
+        Ok(ptr)
+    }
+
+    /// Immutable view of an allocation.
+    pub fn bytes(&self, ptr: XPtr) -> &[u8] {
+        &self.arena[ptr.offset as usize..ptr.offset as usize + ptr.len as usize]
+    }
+
+    /// Mutable view of an allocation.
+    pub fn bytes_mut(&mut self, ptr: XPtr) -> &mut [u8] {
+        &mut self.arena[ptr.offset as usize..ptr.offset as usize + ptr.len as usize]
+    }
+
+    /// Bytes still available.
+    pub fn remaining(&self) -> usize {
+        self.arena.len() - self.next
+    }
+
+    /// Bytes handed out so far.
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Number of successful allocations, for the allocation-trace
+    /// comparison between the host and RMC profiles (experiment E7).
+    pub fn allocation_count(&self) -> u64 {
+        self.allocations
+    }
+}
+
+impl fmt::Debug for Xalloc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Xalloc")
+            .field("size", &self.arena.len())
+            .field("used", &self.next)
+            .field("allocations", &self.allocations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocates_contiguously() {
+        let mut x = Xalloc::new(64);
+        let a = x.alloc(16).unwrap();
+        let b = x.alloc(16).unwrap();
+        assert_eq!(a.offset(), 0);
+        assert_eq!(b.offset(), 16);
+        assert_eq!(x.used(), 32);
+        assert_eq!(x.remaining(), 32);
+    }
+
+    #[test]
+    fn exhaustion_is_permanent() {
+        let mut x = Xalloc::new(8);
+        x.alloc(8).unwrap();
+        let err = x.alloc(1).unwrap_err();
+        assert_eq!(err.remaining, 0);
+        // Still failing later: nothing can ever be freed.
+        assert!(x.alloc(1).is_err());
+    }
+
+    #[test]
+    fn views_are_disjoint_and_writable() {
+        let mut x = Xalloc::new(32);
+        let a = x.alloc(4).unwrap();
+        let b = x.alloc(4).unwrap();
+        x.bytes_mut(a).copy_from_slice(&[1, 2, 3, 4]);
+        x.bytes_mut(b).copy_from_slice(&[5, 6, 7, 8]);
+        assert_eq!(x.bytes(a), &[1, 2, 3, 4]);
+        assert_eq!(x.bytes(b), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn zero_length_allocs_work() {
+        let mut x = Xalloc::new(4);
+        let z = x.alloc(0).unwrap();
+        assert!(z.is_empty());
+        assert_eq!(x.allocation_count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Addressing: IPv4 addresses, ports and endpoints, plus the byte-order
+//! helpers (`htons` and friends) that BSD sockets code leans on.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4(pub u32);
+
+impl Ipv4 {
+    /// The wildcard address `0.0.0.0` (`INADDR_ANY`).
+    pub const ANY: Ipv4 = Ipv4(0);
+
+    /// Builds an address from dotted-quad octets.
+    pub fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4 {
+        Ipv4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Display for Ipv4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// Error parsing a dotted-quad address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpv4Error(pub String);
+
+impl fmt::Display for ParseIpv4Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseIpv4Error {}
+
+impl FromStr for Ipv4 {
+    type Err = ParseIpv4Error;
+
+    fn from_str(s: &str) -> Result<Ipv4, ParseIpv4Error> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 4 {
+            return Err(ParseIpv4Error(s.to_string()));
+        }
+        let mut octets = [0u8; 4];
+        for (o, p) in octets.iter_mut().zip(&parts) {
+            *o = p.parse().map_err(|_| ParseIpv4Error(s.to_string()))?;
+        }
+        Ok(Ipv4(u32::from_be_bytes(octets)))
+    }
+}
+
+/// A transport endpoint: address plus port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// The host address.
+    pub ip: Ipv4,
+    /// The TCP/UDP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Builds an endpoint.
+    pub fn new(ip: Ipv4, port: u16) -> Endpoint {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Host-to-network byte order for a 16-bit value (`htons`).
+pub fn htons(v: u16) -> u16 {
+    v.to_be()
+}
+
+/// Host-to-network byte order for a 32-bit value (`htonl`).
+pub fn htonl(v: u32) -> u32 {
+    v.to_be()
+}
+
+/// Network-to-host byte order for a 16-bit value (`ntohs`).
+pub fn ntohs(v: u16) -> u16 {
+    u16::from_be(v)
+}
+
+/// Network-to-host byte order for a 32-bit value (`ntohl`).
+pub fn ntohl(v: u32) -> u32 {
+    u32::from_be(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips() {
+        let ip = Ipv4::new(192, 168, 1, 30);
+        assert_eq!(ip.to_string(), "192.168.1.30");
+        assert_eq!("192.168.1.30".parse::<Ipv4>(), Ok(ip));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("1.2.3".parse::<Ipv4>().is_err());
+        assert!("1.2.3.256".parse::<Ipv4>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4>().is_err());
+    }
+
+    #[test]
+    fn byte_order_helpers_are_involutions() {
+        assert_eq!(ntohs(htons(0x1234)), 0x1234);
+        assert_eq!(ntohl(htonl(0xDEAD_BEEF)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let ep = Endpoint::new(Ipv4::new(10, 0, 0, 1), 4433);
+        assert_eq!(ep.to_string(), "10.0.0.1:4433");
+    }
+}

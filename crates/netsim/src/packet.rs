@@ -1,0 +1,197 @@
+//! On-the-wire packet representations: TCP segments, UDP datagrams and
+//! ICMP echoes, all carried over the simulated IP layer.
+
+use crate::addr::Endpoint;
+
+/// TCP header flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// Synchronise sequence numbers.
+    pub syn: bool,
+    /// Acknowledgement field is significant.
+    pub ack: bool,
+    /// No more data from sender.
+    pub fin: bool,
+    /// Reset the connection.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// `SYN`.
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    /// `SYN|ACK`.
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// `ACK`.
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    /// `FIN|ACK`.
+    pub const FIN_ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: true,
+        rst: false,
+    };
+    /// `RST`.
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
+}
+
+impl std::fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if parts.is_empty() {
+            parts.push("-");
+        }
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+/// A TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: u32,
+    /// Next sequence number expected by the sender of this segment.
+    pub ack: u32,
+    /// Header flags.
+    pub flags: TcpFlags,
+    /// Receive window advertisement, in bytes.
+    pub window: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// Sequence space consumed by this segment (payload plus SYN/FIN).
+    pub fn seq_len(&self) -> u32 {
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
+    }
+}
+
+/// A UDP datagram payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// An ICMP echo request or reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpEcho {
+    /// True for a request, false for a reply.
+    pub request: bool,
+    /// Echo identifier.
+    pub ident: u16,
+    /// Echo sequence number.
+    pub seq: u16,
+}
+
+/// Transport-layer content of an IP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transport {
+    /// A TCP segment.
+    Tcp(TcpSegment),
+    /// A UDP datagram.
+    Udp(UdpDatagram),
+    /// An ICMP echo.
+    Icmp(IcmpEcho),
+}
+
+/// A simulated IP packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source endpoint (port 0 for ICMP).
+    pub src: Endpoint,
+    /// Destination endpoint (port 0 for ICMP).
+    pub dst: Endpoint,
+    /// Transport payload.
+    pub body: Transport,
+}
+
+/// Fixed per-packet header overhead charged by the link model, in bytes
+/// (Ethernet + IP + TCP headers, roughly).
+pub const HEADER_OVERHEAD: usize = 54;
+
+impl Packet {
+    /// Wire size of the packet in bytes, for serialization-delay
+    /// accounting.
+    pub fn wire_len(&self) -> usize {
+        HEADER_OVERHEAD
+            + match &self.body {
+                Transport::Tcp(t) => t.payload.len(),
+                Transport::Udp(u) => u.payload.len(),
+                Transport::Icmp(_) => 8,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Endpoint, Ipv4};
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut seg = TcpSegment {
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 0,
+            payload: vec![],
+        };
+        assert_eq!(seg.seq_len(), 1);
+        seg.flags = TcpFlags::ACK;
+        seg.payload = vec![0; 10];
+        assert_eq!(seg.seq_len(), 10);
+        seg.flags = TcpFlags::FIN_ACK;
+        assert_eq!(seg.seq_len(), 11);
+    }
+
+    #[test]
+    fn wire_len_includes_headers() {
+        let p = Packet {
+            src: Endpoint::new(Ipv4::new(10, 0, 0, 1), 1000),
+            dst: Endpoint::new(Ipv4::new(10, 0, 0, 2), 2000),
+            body: Transport::Udp(UdpDatagram {
+                payload: vec![0; 100],
+            }),
+        };
+        assert_eq!(p.wire_len(), 154);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+}

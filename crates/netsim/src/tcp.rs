@@ -1,0 +1,197 @@
+//! TCP connection state, one struct per socket. The transition logic
+//! lives in [`crate::world::World`], which owns every socket and the wire.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::addr::Endpoint;
+
+/// Handle to a TCP socket inside a [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SocketId(pub(crate) usize);
+
+/// Handle to a host inside a [`crate::World`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HostId(pub(crate) usize);
+
+/// The RFC 793 connection states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open, waiting for SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// Our FIN sent, not yet acknowledged.
+    FinWait1,
+    /// Our FIN acknowledged, waiting for the peer's.
+    FinWait2,
+    /// Peer's FIN received, ours not yet sent.
+    CloseWait,
+    /// Peer closed, our FIN sent, waiting for its ACK.
+    LastAck,
+    /// Both FINs crossed in flight.
+    Closing,
+    /// Connection done, draining stray segments.
+    TimeWait,
+}
+
+impl TcpState {
+    /// Whether the connection can still carry data to the peer.
+    pub fn can_send(self) -> bool {
+        matches!(self, TcpState::Established | TcpState::CloseWait)
+    }
+}
+
+/// Maximum segment size (Ethernet-framed TCP payload).
+pub const MSS: usize = 1460;
+
+/// Receive-buffer capacity advertised as the window.
+pub const RECV_WINDOW: usize = 16 * 1024;
+
+/// Send-buffer capacity; `send` accepts at most this much unacknowledged
+/// data.
+pub const SEND_BUFFER: usize = 64 * 1024;
+
+/// Initial retransmission timeout in microseconds.
+pub const INITIAL_RTO_US: u64 = 200_000;
+
+/// Upper bound on the backed-off retransmission timeout.
+pub const MAX_RTO_US: u64 = 8_000_000;
+
+/// 2·MSL delay spent in `TimeWait`.
+pub const TIME_WAIT_US: u64 = 1_000_000;
+
+/// One endpoint's connection state.
+#[derive(Debug)]
+pub struct TcpSocket {
+    /// Owning host.
+    pub host: HostId,
+    /// Local endpoint.
+    pub local: Endpoint,
+    /// Remote endpoint once known.
+    pub remote: Option<Endpoint>,
+    /// Connection state.
+    pub state: TcpState,
+
+    // send side --------------------------------------------------------
+    /// Initial send sequence number.
+    pub iss: u32,
+    /// Oldest unacknowledged sequence number.
+    pub snd_una: u32,
+    /// Next sequence number to transmit.
+    pub snd_nxt: u32,
+    /// Bytes accepted from the application and not yet acknowledged;
+    /// front of the queue corresponds to `snd_una`.
+    pub send_buf: VecDeque<u8>,
+    /// Application asked to close; FIN goes out after the buffered data.
+    pub fin_queued: bool,
+    /// Sequence number our FIN occupies once sent.
+    pub fin_seq: Option<u32>,
+    /// Peer's advertised receive window.
+    pub peer_window: u16,
+    /// Current retransmission timeout (doubles on each expiry).
+    pub rto_us: u64,
+    /// A retransmission-timer event is in flight for this socket.
+    pub timer_pending: bool,
+
+    // receive side -----------------------------------------------------
+    /// Next expected sequence number.
+    pub rcv_nxt: u32,
+    /// In-order bytes ready for the application.
+    pub recv_buf: VecDeque<u8>,
+    /// Out-of-order segments keyed by sequence number.
+    pub ooo: BTreeMap<u32, Vec<u8>>,
+    /// Peer's FIN has been received and sequenced.
+    pub peer_fin: bool,
+    /// Connection was reset.
+    pub reset: bool,
+
+    // listener side ----------------------------------------------------
+    /// Fully established child connections awaiting `accept`.
+    pub backlog: VecDeque<SocketId>,
+    /// Maximum backlog length (`listen`'s argument).
+    pub backlog_limit: usize,
+    /// Listener that spawned this socket, if any.
+    pub parent: Option<SocketId>,
+}
+
+impl TcpSocket {
+    pub(crate) fn new(host: HostId, local: Endpoint) -> TcpSocket {
+        TcpSocket {
+            host,
+            local,
+            remote: None,
+            state: TcpState::Closed,
+            iss: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            send_buf: VecDeque::new(),
+            fin_queued: false,
+            fin_seq: None,
+            peer_window: RECV_WINDOW as u16,
+            rto_us: INITIAL_RTO_US,
+            timer_pending: false,
+            rcv_nxt: 0,
+            recv_buf: VecDeque::new(),
+            ooo: BTreeMap::new(),
+            peer_fin: false,
+            reset: false,
+            backlog: VecDeque::new(),
+            backlog_limit: 0,
+            parent: None,
+        }
+    }
+
+    /// Bytes of receive window currently available to advertise.
+    pub fn advertised_window(&self) -> u16 {
+        RECV_WINDOW
+            .saturating_sub(self.recv_buf.len())
+            .min(u16::MAX as usize) as u16
+    }
+
+    /// Bytes the application can read right now.
+    pub fn available(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// Whether the peer will send no more data (FIN seen and buffer
+    /// drained is checked by the caller).
+    pub fn peer_closed(&self) -> bool {
+        self.peer_fin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4;
+
+    #[test]
+    fn fresh_socket_is_closed() {
+        let s = TcpSocket::new(HostId(0), Endpoint::new(Ipv4::ANY, 80));
+        assert_eq!(s.state, TcpState::Closed);
+        assert_eq!(s.available(), 0);
+        assert!(!s.state.can_send());
+    }
+
+    #[test]
+    fn window_shrinks_with_buffered_data() {
+        let mut s = TcpSocket::new(HostId(0), Endpoint::new(Ipv4::ANY, 80));
+        assert_eq!(usize::from(s.advertised_window()), RECV_WINDOW);
+        s.recv_buf.extend(std::iter::repeat_n(0u8, 1000));
+        assert_eq!(usize::from(s.advertised_window()), RECV_WINDOW - 1000);
+    }
+
+    #[test]
+    fn can_send_states() {
+        assert!(TcpState::Established.can_send());
+        assert!(TcpState::CloseWait.can_send());
+        assert!(!TcpState::FinWait1.can_send());
+        assert!(!TcpState::Listen.can_send());
+    }
+}

@@ -1,0 +1,1332 @@
+//! A two-pass assembler for the Rabbit 2000 dialect executed by
+//! [`crate::Cpu`].
+//!
+//! The surface syntax follows classic Z80 assemblers and the inline
+//! assembly shown in the paper's §4.1:
+//!
+//! ```text
+//!         org  0x4000
+//! start:  ld   hl, table       ; comment
+//!         ld   a, (hl)
+//!         ioi  ld (0xC0), a    ; WrPortI-style I/O store
+//!         jp   nz, start
+//! table:  db   1, 2, 3, "text"
+//!         dw   0x1234, start
+//! len     equ  3
+//! ```
+//!
+//! Supported directives: `org`, `db`, `dw`, `ds`, `equ`, `align`.
+//! Expressions allow `+ - * / % & | ^ << >>`, unary `-` and `~`, parens,
+//! `lo(e)`/`hi(e)`, character literals, and `$` for the current address.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cpu::Cond;
+use crate::mem::Memory;
+use crate::registers::{Reg16, Reg8};
+
+/// An assembler diagnostic carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A contiguous span of assembled bytes at a logical load address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Logical start address.
+    pub addr: u16,
+    /// Assembled contents.
+    pub bytes: Vec<u8>,
+}
+
+/// The output of a successful assembly.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// Sections in source order, one per `org` region.
+    pub sections: Vec<Section>,
+    /// Label and `equ` values.
+    pub symbols: HashMap<String, u16>,
+}
+
+impl Image {
+    /// Loads every section into memory at `phys = logical` (the identity
+    /// root mapping the board uses for code).
+    pub fn load_into(&self, mem: &mut Memory) {
+        for s in &self.sections {
+            mem.load(u32::from(s.addr), &s.bytes);
+        }
+    }
+
+    /// Total size in bytes across all sections — the "code size" metric of
+    /// the paper's Section 6.
+    pub fn size(&self) -> usize {
+        self.sections.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// Looks up a symbol's value.
+    pub fn symbol(&self, name: &str) -> Option<u16> {
+        self.symbols.get(name).copied()
+    }
+}
+
+/// Assembles `source` into an [`Image`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered: syntax errors, unknown
+/// mnemonics or operand combinations, undefined symbols, or relative jumps
+/// out of range.
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    Assembler::new().assemble(source)
+}
+
+// ---------------------------------------------------------------------
+// expressions
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Num(i64),
+    Sym(String),
+    Here,
+    Unary(char, Box<Expr>),
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    Lo(Box<Expr>),
+    Hi(Box<Expr>),
+}
+
+impl Expr {
+    fn eval(
+        &self,
+        symbols: &HashMap<String, u16>,
+        here: u16,
+        line: usize,
+    ) -> Result<i64, AsmError> {
+        Ok(match self {
+            Expr::Num(n) => *n,
+            Expr::Sym(s) => i64::from(*symbols.get(s).ok_or_else(|| AsmError {
+                line,
+                message: format!("undefined symbol `{s}`"),
+            })?),
+            Expr::Here => i64::from(here),
+            Expr::Unary('-', e) => -e.eval(symbols, here, line)?,
+            Expr::Unary('~', e) => !e.eval(symbols, here, line)?,
+            Expr::Unary(op, _) => {
+                return Err(AsmError {
+                    line,
+                    message: format!("unknown unary operator `{op}`"),
+                })
+            }
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(symbols, here, line)?;
+                let b = b.eval(symbols, here, line)?;
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "/" => {
+                        if b == 0 {
+                            return Err(AsmError {
+                                line,
+                                message: "division by zero in expression".into(),
+                            });
+                        }
+                        a / b
+                    }
+                    "%" => {
+                        if b == 0 {
+                            return Err(AsmError {
+                                line,
+                                message: "modulo by zero in expression".into(),
+                            });
+                        }
+                        a % b
+                    }
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    "<<" => a.wrapping_shl(b as u32),
+                    ">>" => a.wrapping_shr(b as u32),
+                    _ => unreachable!("parser only produces known operators"),
+                }
+            }
+            Expr::Lo(e) => e.eval(symbols, here, line)? & 0xFF,
+            Expr::Hi(e) => (e.eval(symbols, here, line)? >> 8) & 0xFF,
+        })
+    }
+}
+
+struct ExprParser<'a> {
+    toks: &'a [String],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line: self.line,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn bump(&mut self) -> Option<&str> {
+        let t = self.toks.get(self.pos).map(String::as_str);
+        self.pos += 1;
+        t
+    }
+
+    fn parse(&mut self) -> Result<Expr, AsmError> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, AsmError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some(op) = self.peek() {
+            let (prec, sop): (u8, &'static str) = match op {
+                "|" => (1, "|"),
+                "^" => (2, "^"),
+                "&" => (3, "&"),
+                "<<" => (4, "<<"),
+                ">>" => (4, ">>"),
+                "+" => (5, "+"),
+                "-" => (5, "-"),
+                "*" => (6, "*"),
+                "/" => (6, "/"),
+                "%" => (6, "%"),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::Bin(sop, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, AsmError> {
+        match self.peek() {
+            Some("-") => {
+                self.bump();
+                Ok(Expr::Unary('-', Box::new(self.parse_unary()?)))
+            }
+            Some("~") => {
+                self.bump();
+                Ok(Expr::Unary('~', Box::new(self.parse_unary()?)))
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, AsmError> {
+        let tok = match self.bump() {
+            Some(t) => t.to_string(),
+            None => return Err(self.err("expected expression")),
+        };
+        if tok == "(" {
+            let e = self.parse()?;
+            match self.bump() {
+                Some(")") => Ok(e),
+                _ => Err(self.err("expected `)`")),
+            }
+        } else if tok == "$" {
+            Ok(Expr::Here)
+        } else if let Some(rest) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+            i64::from_str_radix(rest, 16)
+                .map(Expr::Num)
+                .map_err(|_| self.err(format!("bad hex literal `{tok}`")))
+        } else if let Some(rest) = tok.strip_prefix("0b").or_else(|| tok.strip_prefix("0B")) {
+            i64::from_str_radix(rest, 2)
+                .map(Expr::Num)
+                .map_err(|_| self.err(format!("bad binary literal `{tok}`")))
+        } else if tok.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            tok.parse::<i64>()
+                .map(Expr::Num)
+                .map_err(|_| self.err(format!("bad number `{tok}`")))
+        } else if tok.starts_with('\'') {
+            let inner: Vec<char> = tok.chars().collect();
+            if inner.len() == 3 && inner[2] == '\'' {
+                Ok(Expr::Num(i64::from(inner[1] as u32)))
+            } else {
+                Err(self.err(format!("bad character literal `{tok}`")))
+            }
+        } else if (tok.eq_ignore_ascii_case("lo") || tok.eq_ignore_ascii_case("hi"))
+            && self.peek() == Some("(")
+        {
+            self.bump();
+            let e = self.parse()?;
+            match self.bump() {
+                Some(")") => {
+                    if tok.eq_ignore_ascii_case("lo") {
+                        Ok(Expr::Lo(Box::new(e)))
+                    } else {
+                        Ok(Expr::Hi(Box::new(e)))
+                    }
+                }
+                _ => Err(self.err("expected `)` after lo/hi")),
+            }
+        } else if is_ident(&tok) {
+            Ok(Expr::Sym(tok))
+        } else {
+            Err(self.err(format!("unexpected token `{tok}` in expression")))
+        }
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+// ---------------------------------------------------------------------
+// operands
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    R8(Reg8),
+    R16(Reg16),
+    AfAlt,
+    Xpc,
+    IndHl,
+    IndBc,
+    IndDe,
+    IndSp,
+    IndImm(Expr),
+    IndIdx(Reg16, Expr),
+    IndSpOff(Expr),
+    Imm(Expr),
+}
+
+fn parse_reg8(s: &str) -> Option<Reg8> {
+    match s.to_ascii_lowercase().as_str() {
+        "a" => Some(Reg8::A),
+        "b" => Some(Reg8::B),
+        "c" => Some(Reg8::C),
+        "d" => Some(Reg8::D),
+        "e" => Some(Reg8::E),
+        "h" => Some(Reg8::H),
+        "l" => Some(Reg8::L),
+        _ => None,
+    }
+}
+
+fn parse_reg16(s: &str) -> Option<Reg16> {
+    match s.to_ascii_lowercase().as_str() {
+        "bc" => Some(Reg16::Bc),
+        "de" => Some(Reg16::De),
+        "hl" => Some(Reg16::Hl),
+        "sp" => Some(Reg16::Sp),
+        "af" => Some(Reg16::Af),
+        "ix" => Some(Reg16::Ix),
+        "iy" => Some(Reg16::Iy),
+        _ => None,
+    }
+}
+
+fn parse_cond(s: &str) -> Option<Cond> {
+    match s.to_ascii_lowercase().as_str() {
+        "nz" => Some(Cond::Nz),
+        "z" => Some(Cond::Z),
+        "nc" => Some(Cond::Nc),
+        "c" => Some(Cond::C),
+        "po" | "lz" => Some(Cond::Po),
+        "pe" | "lo" => Some(Cond::Pe),
+        "p" => Some(Cond::P),
+        "m" => Some(Cond::M),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// emission templates
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Emit {
+    Lit(u8),
+    /// Low byte of a 16-bit expression (followed by [`Emit::Hi`]).
+    Lo(Expr),
+    Hi(Expr),
+    /// An 8-bit immediate (range-checked to -128..=255).
+    Byte(Expr),
+    /// A signed displacement for `(ix+d)` / `add sp,d`.
+    Disp(Expr),
+    /// A relative branch target: encodes `target - (addr_after_insn)`.
+    Rel(Expr),
+}
+
+impl Emit {
+    fn size(&self) -> u16 {
+        1
+    }
+}
+
+// ---------------------------------------------------------------------
+// the assembler proper
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Item {
+    line: usize,
+    addr: u16,
+    emits: Vec<Emit>,
+}
+
+struct Assembler {
+    symbols: HashMap<String, u16>,
+}
+
+impl Assembler {
+    fn new() -> Assembler {
+        Assembler {
+            symbols: HashMap::new(),
+        }
+    }
+
+    fn assemble(mut self, source: &str) -> Result<Image, AsmError> {
+        // Pass 1: tokenize, size, and place every item; collect symbols.
+        let mut items: Vec<Item> = Vec::new();
+        let mut sections: Vec<(u16, u16)> = Vec::new(); // (start, len) regions
+        let mut pc: u16 = 0;
+        let mut section_start: Option<u16> = None;
+
+        for (idx, raw) in source.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw);
+            let mut toks = tokenize(line, line_no)?;
+            if toks.is_empty() {
+                continue;
+            }
+
+            // label?
+            if toks.len() >= 2 && toks[1] == ":" {
+                let label = toks[0].clone();
+                if !is_ident(&label) {
+                    return Err(AsmError {
+                        line: line_no,
+                        message: format!("bad label `{label}`"),
+                    });
+                }
+                if self.symbols.insert(label.clone(), pc).is_some() {
+                    return Err(AsmError {
+                        line: line_no,
+                        message: format!("duplicate label `{label}`"),
+                    });
+                }
+                toks.drain(..2);
+                if toks.is_empty() {
+                    if section_start.is_none() {
+                        section_start = Some(pc);
+                    }
+                    continue;
+                }
+            }
+
+            // `name equ expr`
+            if toks.len() >= 3 && toks[1].eq_ignore_ascii_case("equ") {
+                let name = toks[0].clone();
+                let mut ep = ExprParser {
+                    toks: &toks[2..],
+                    pos: 0,
+                    line: line_no,
+                };
+                let e = ep.parse()?;
+                let v = e.eval(&self.symbols, pc, line_no)?;
+                self.symbols.insert(name, v as u16);
+                continue;
+            }
+
+            let mnem = toks[0].to_ascii_lowercase();
+            let rest = &toks[1..];
+            match mnem.as_str() {
+                "org" => {
+                    if let Some(start) = section_start.take() {
+                        sections.push((start, pc.wrapping_sub(start)));
+                    }
+                    let mut ep = ExprParser {
+                        toks: rest,
+                        pos: 0,
+                        line: line_no,
+                    };
+                    let e = ep.parse()?;
+                    pc = e.eval(&self.symbols, pc, line_no)? as u16;
+                    section_start = Some(pc);
+                    continue;
+                }
+                "align" => {
+                    let mut ep = ExprParser {
+                        toks: rest,
+                        pos: 0,
+                        line: line_no,
+                    };
+                    let n = ep.parse()?.eval(&self.symbols, pc, line_no)? as u16;
+                    if n == 0 || !n.is_power_of_two() {
+                        return Err(AsmError {
+                            line: line_no,
+                            message: "align requires a power of two".into(),
+                        });
+                    }
+                    let pad = (n - (pc % n)) % n;
+                    let emits = vec![Emit::Lit(0); usize::from(pad)];
+                    if section_start.is_none() {
+                        section_start = Some(pc);
+                    }
+                    items.push(Item {
+                        line: line_no,
+                        addr: pc,
+                        emits,
+                    });
+                    pc = pc.wrapping_add(pad);
+                    continue;
+                }
+                _ => {}
+            }
+
+            if section_start.is_none() {
+                section_start = Some(pc);
+            }
+            let emits = self.encode_line(&mnem, rest, line_no)?;
+            let size: u16 = emits.iter().map(Emit::size).sum();
+            items.push(Item {
+                line: line_no,
+                addr: pc,
+                emits,
+            });
+            pc = pc.wrapping_add(size);
+        }
+        if let Some(start) = section_start.take() {
+            sections.push((start, pc.wrapping_sub(start)));
+        }
+
+        // Overlap check: silently clobbering another section is the kind
+        // of bug that costs days on real hardware; reject it here.
+        let mut spans: Vec<(u16, u16)> = sections.iter().filter(|s| s.1 > 0).copied().collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            let (a_start, a_len) = pair[0];
+            let (b_start, _) = pair[1];
+            if u32::from(a_start) + u32::from(a_len) > u32::from(b_start) {
+                return Err(AsmError {
+                    line: 0,
+                    message: format!(
+                        "section at {a_start:#06x} (+{a_len:#x} bytes) overlaps section at {b_start:#06x}"
+                    ),
+                });
+            }
+        }
+
+        // Pass 2: evaluate expressions and emit bytes.
+        let mut out: Vec<Section> = sections
+            .iter()
+            .map(|&(addr, len)| Section {
+                addr,
+                bytes: vec![0; usize::from(len)],
+            })
+            .collect();
+
+        for item in &items {
+            let mut addr = item.addr;
+            let end = item
+                .addr
+                .wrapping_add(item.emits.iter().map(Emit::size).sum::<u16>());
+            for e in &item.emits {
+                let byte = match e {
+                    Emit::Lit(b) => *b,
+                    Emit::Lo(x) => (x.eval(&self.symbols, item.addr, item.line)? & 0xFF) as u8,
+                    Emit::Hi(x) => {
+                        ((x.eval(&self.symbols, item.addr, item.line)? >> 8) & 0xFF) as u8
+                    }
+                    Emit::Byte(x) => {
+                        let v = x.eval(&self.symbols, item.addr, item.line)?;
+                        if !(-128..=255).contains(&v) {
+                            return Err(AsmError {
+                                line: item.line,
+                                message: format!("immediate {v} does not fit in a byte"),
+                            });
+                        }
+                        v as u8
+                    }
+                    Emit::Disp(x) => {
+                        let v = x.eval(&self.symbols, item.addr, item.line)?;
+                        if !(-128..=127).contains(&v) {
+                            return Err(AsmError {
+                                line: item.line,
+                                message: format!("displacement {v} out of range"),
+                            });
+                        }
+                        v as u8
+                    }
+                    Emit::Rel(x) => {
+                        let target = x.eval(&self.symbols, item.addr, item.line)?;
+                        let delta = target - i64::from(end);
+                        if !(-128..=127).contains(&delta) {
+                            return Err(AsmError {
+                                line: item.line,
+                                message: format!("relative branch out of range ({delta})"),
+                            });
+                        }
+                        delta as u8
+                    }
+                };
+                // Locate the section containing `addr`.
+                let sect = out
+                    .iter_mut()
+                    .zip(&sections)
+                    .find(|(_, &(s, len))| addr.wrapping_sub(s) < len)
+                    .map(|(sec, &(s, _))| (sec, s))
+                    .expect("pass-1 placement always lands in a section");
+                sect.0.bytes[usize::from(addr.wrapping_sub(sect.1))] = byte;
+                addr = addr.wrapping_add(1);
+            }
+        }
+
+        out.retain(|s| !s.bytes.is_empty());
+        Ok(Image {
+            sections: out,
+            symbols: self.symbols,
+        })
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn encode_line(
+        &mut self,
+        mnem: &str,
+        toks: &[String],
+        line: usize,
+    ) -> Result<Vec<Emit>, AsmError> {
+        let err = |msg: String| AsmError { line, message: msg };
+
+        // data directives
+        match mnem {
+            "db" | ".db" | "defb" => {
+                let mut emits = Vec::new();
+                for field in split_commas(toks) {
+                    if field.len() == 1 && field[0].starts_with('"') {
+                        let s = &field[0][1..field[0].len() - 1];
+                        emits.extend(s.bytes().map(Emit::Lit));
+                    } else {
+                        let mut ep = ExprParser {
+                            toks: field,
+                            pos: 0,
+                            line,
+                        };
+                        emits.push(Emit::Byte(ep.parse()?));
+                    }
+                }
+                return Ok(emits);
+            }
+            "dw" | ".dw" | "defw" => {
+                let mut emits = Vec::new();
+                for field in split_commas(toks) {
+                    let mut ep = ExprParser {
+                        toks: field,
+                        pos: 0,
+                        line,
+                    };
+                    let e = ep.parse()?;
+                    emits.push(Emit::Lo(e.clone()));
+                    emits.push(Emit::Hi(e));
+                }
+                return Ok(emits);
+            }
+            "ds" | ".ds" | "defs" => {
+                let mut ep = ExprParser { toks, pos: 0, line };
+                let n = ep.parse()?.eval(&self.symbols, 0, line)?;
+                if !(0..=0x10000).contains(&n) {
+                    return Err(err(format!("bad ds size {n}")));
+                }
+                return Ok(vec![Emit::Lit(0); n as usize]);
+            }
+            _ => {}
+        }
+
+        // I/O prefixes: `ioi <instruction>` on the same line (or alone).
+        if mnem == "ioi" || mnem == "ioe" {
+            let prefix = if mnem == "ioi" { 0xD3 } else { 0xDB };
+            let mut emits = vec![Emit::Lit(prefix)];
+            if !toks.is_empty() {
+                let inner = toks[0].to_ascii_lowercase();
+                emits.extend(self.encode_line(&inner, &toks[1..], line)?);
+            }
+            return Ok(emits);
+        }
+
+        let ops = parse_operands(toks, line)?;
+        self.encode_insn(mnem, &ops, toks, line)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn encode_insn(
+        &mut self,
+        mnem: &str,
+        ops: &[Operand],
+        raw_toks: &[String],
+        line: usize,
+    ) -> Result<Vec<Emit>, AsmError> {
+        use Operand::*;
+        let err = |msg: String| AsmError { line, message: msg };
+        let bad = || {
+            Err(AsmError {
+                line,
+                message: format!("unsupported operands for `{mnem}`"),
+            })
+        };
+
+        fn r8code(r: Reg8) -> u8 {
+            r as u8
+        }
+        fn dd(r: Reg16, line: usize) -> Result<u8, AsmError> {
+            match r {
+                Reg16::Bc => Ok(0),
+                Reg16::De => Ok(1),
+                Reg16::Hl => Ok(2),
+                Reg16::Sp => Ok(3),
+                _ => Err(AsmError {
+                    line,
+                    message: "register pair must be bc/de/hl/sp".into(),
+                }),
+            }
+        }
+        fn qq(r: Reg16, line: usize) -> Result<u8, AsmError> {
+            match r {
+                Reg16::Bc => Ok(0),
+                Reg16::De => Ok(1),
+                Reg16::Hl => Ok(2),
+                Reg16::Af => Ok(3),
+                _ => Err(AsmError {
+                    line,
+                    message: "register pair must be bc/de/hl/af".into(),
+                }),
+            }
+        }
+        fn idx_prefix(r: Reg16) -> Option<u8> {
+            match r {
+                Reg16::Ix => Some(0xDD),
+                Reg16::Iy => Some(0xFD),
+                _ => None,
+            }
+        }
+        // Condition field taken from the raw first token, because `c` parses
+        // as a register otherwise.
+        let cond0 = raw_toks.first().and_then(|t| parse_cond(t));
+
+        let out = match (mnem, ops) {
+            ("nop", []) => vec![Emit::Lit(0x00)],
+            ("halt", []) => vec![Emit::Lit(0x76)],
+            ("exx", []) => vec![Emit::Lit(0xD9)],
+            ("cpl", []) => vec![Emit::Lit(0x2F)],
+            ("scf", []) => vec![Emit::Lit(0x37)],
+            ("ccf", []) => vec![Emit::Lit(0x3F)],
+            ("rlca", []) => vec![Emit::Lit(0x07)],
+            ("rrca", []) => vec![Emit::Lit(0x0F)],
+            ("rla", []) => vec![Emit::Lit(0x17)],
+            ("rra", []) => vec![Emit::Lit(0x1F)],
+            ("neg", []) => vec![Emit::Lit(0xED), Emit::Lit(0x44)],
+            ("reti", []) => vec![Emit::Lit(0xED), Emit::Lit(0x4D)],
+            ("ldi", []) => vec![Emit::Lit(0xED), Emit::Lit(0xA0)],
+            ("ldir", []) => vec![Emit::Lit(0xED), Emit::Lit(0xB0)],
+            ("ldd", []) => vec![Emit::Lit(0xED), Emit::Lit(0xA8)],
+            ("lddr", []) => vec![Emit::Lit(0xED), Emit::Lit(0xB8)],
+            ("mul", []) => vec![Emit::Lit(0xF7)],
+            ("ipres", []) => vec![Emit::Lit(0xED), Emit::Lit(0x5D)],
+            ("ipset", [Imm(e)]) => {
+                let n = e.eval(&self.symbols, 0, line)?;
+                let op = match n {
+                    0 => 0x46,
+                    1 => 0x56,
+                    2 => 0x4E,
+                    3 => 0x5E,
+                    _ => return Err(err(format!("ipset priority {n} out of range"))),
+                };
+                vec![Emit::Lit(0xED), Emit::Lit(op)]
+            }
+            ("bool", [R16(Reg16::Hl)]) => vec![Emit::Lit(0xCC)],
+
+            // ---- ld ----
+            ("ld", [R8(d), R8(s)]) => vec![Emit::Lit(0x40 | (r8code(*d) << 3) | r8code(*s))],
+            ("ld", [R8(d), Imm(e)]) => {
+                vec![Emit::Lit(0x06 | (r8code(*d) << 3)), Emit::Byte(e.clone())]
+            }
+            ("ld", [R8(d), IndHl]) => vec![Emit::Lit(0x46 | (r8code(*d) << 3))],
+            ("ld", [IndHl, R8(s)]) => vec![Emit::Lit(0x70 | r8code(*s))],
+            ("ld", [IndHl, Imm(e)]) => vec![Emit::Lit(0x36), Emit::Byte(e.clone())],
+            ("ld", [R8(Reg8::A), IndBc]) => vec![Emit::Lit(0x0A)],
+            ("ld", [R8(Reg8::A), IndDe]) => vec![Emit::Lit(0x1A)],
+            ("ld", [IndBc, R8(Reg8::A)]) => vec![Emit::Lit(0x02)],
+            ("ld", [IndDe, R8(Reg8::A)]) => vec![Emit::Lit(0x12)],
+            ("ld", [R8(Reg8::A), IndImm(e)]) => {
+                vec![Emit::Lit(0x3A), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("ld", [IndImm(e), R8(Reg8::A)]) => {
+                vec![Emit::Lit(0x32), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("ld", [R8(d), IndIdx(i, e)]) => {
+                let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x46 | (r8code(*d) << 3)),
+                    Emit::Disp(e.clone()),
+                ]
+            }
+            ("ld", [IndIdx(i, e), R8(s)]) => {
+                let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x70 | r8code(*s)),
+                    Emit::Disp(e.clone()),
+                ]
+            }
+            ("ld", [IndIdx(i, e), Imm(n)]) => {
+                let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x36),
+                    Emit::Disp(e.clone()),
+                    Emit::Byte(n.clone()),
+                ]
+            }
+            ("ld", [R16(r @ (Reg16::Ix | Reg16::Iy)), Imm(e)]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x21),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [R16(r @ (Reg16::Ix | Reg16::Iy)), IndImm(e)]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x2A),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [IndImm(e), R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![
+                    Emit::Lit(p),
+                    Emit::Lit(0x22),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [R16(Reg16::Hl), IndImm(e)]) => {
+                vec![Emit::Lit(0x2A), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("ld", [IndImm(e), R16(Reg16::Hl)]) => {
+                vec![Emit::Lit(0x22), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("ld", [R16(r), IndImm(e)]) => {
+                let code = dd(*r, line)?;
+                vec![
+                    Emit::Lit(0xED),
+                    Emit::Lit(0x4B | (code << 4)),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [IndImm(e), R16(r)]) => {
+                let code = dd(*r, line)?;
+                vec![
+                    Emit::Lit(0xED),
+                    Emit::Lit(0x43 | (code << 4)),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [R16(r), Imm(e)]) => {
+                let code = dd(*r, line)?;
+                vec![
+                    Emit::Lit(0x01 | (code << 4)),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("ld", [R16(Reg16::Sp), R16(Reg16::Hl)]) => vec![Emit::Lit(0xF9)],
+            ("ld", [R16(Reg16::Sp), R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![Emit::Lit(p), Emit::Lit(0xF9)]
+            }
+            ("ld", [R16(Reg16::Hl), IndSpOff(e)]) => {
+                vec![Emit::Lit(0xC4), Emit::Byte(e.clone())]
+            }
+            ("ld", [IndSpOff(e), R16(Reg16::Hl)]) => {
+                vec![Emit::Lit(0xD4), Emit::Byte(e.clone())]
+            }
+            ("ld", [Xpc, R8(Reg8::A)]) => vec![Emit::Lit(0xED), Emit::Lit(0x67)],
+            ("ld", [R8(Reg8::A), Xpc]) => vec![Emit::Lit(0xED), Emit::Lit(0x77)],
+
+            // ---- exchanges ----
+            ("ex", [R16(Reg16::De), R16(Reg16::Hl)]) => vec![Emit::Lit(0xEB)],
+            ("ex", [R16(Reg16::Af), AfAlt]) => vec![Emit::Lit(0x08)],
+            ("ex", [IndSp, R16(Reg16::Hl)]) => vec![Emit::Lit(0xE3)],
+            ("ex", [IndSp, R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![Emit::Lit(p), Emit::Lit(0xE3)]
+            }
+
+            // ---- 16-bit arithmetic ----
+            ("add", [R16(Reg16::Hl), R16(s)]) => vec![Emit::Lit(0x09 | (dd(*s, line)? << 4))],
+            ("add", [R16(i @ (Reg16::Ix | Reg16::Iy)), R16(s)]) => {
+                let p = idx_prefix(*i).expect("ix/iy");
+                let code = match s {
+                    Reg16::Bc => 0,
+                    Reg16::De => 1,
+                    r if r == i => 2,
+                    Reg16::Sp => 3,
+                    _ => return bad(),
+                };
+                vec![Emit::Lit(p), Emit::Lit(0x09 | (code << 4))]
+            }
+            ("add", [R16(Reg16::Sp), Imm(e)]) => vec![Emit::Lit(0x27), Emit::Disp(e.clone())],
+            ("adc", [R16(Reg16::Hl), R16(s)]) => {
+                vec![Emit::Lit(0xED), Emit::Lit(0x4A | (dd(*s, line)? << 4))]
+            }
+            ("sbc", [R16(Reg16::Hl), R16(s)]) => {
+                vec![Emit::Lit(0xED), Emit::Lit(0x42 | (dd(*s, line)? << 4))]
+            }
+            ("and", [R16(Reg16::Hl), R16(Reg16::De)]) => vec![Emit::Lit(0xDC)],
+            ("or", [R16(Reg16::Hl), R16(Reg16::De)]) => vec![Emit::Lit(0xEC)],
+            ("rr", [R16(Reg16::Hl)]) => vec![Emit::Lit(0xFC)],
+            ("rl", [R16(Reg16::De)]) => vec![Emit::Lit(0xF3)],
+            ("rr", [R16(Reg16::De)]) => vec![Emit::Lit(0xFB)],
+
+            ("inc", [R8(r)]) => vec![Emit::Lit(0x04 | (r8code(*r) << 3))],
+            ("inc", [IndHl]) => vec![Emit::Lit(0x34)],
+            ("inc", [IndIdx(i, e)]) => {
+                let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                vec![Emit::Lit(p), Emit::Lit(0x34), Emit::Disp(e.clone())]
+            }
+            ("inc", [R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![Emit::Lit(p), Emit::Lit(0x23)]
+            }
+            ("inc", [R16(r)]) => vec![Emit::Lit(0x03 | (dd(*r, line)? << 4))],
+            ("dec", [R8(r)]) => vec![Emit::Lit(0x05 | (r8code(*r) << 3))],
+            ("dec", [IndHl]) => vec![Emit::Lit(0x35)],
+            ("dec", [IndIdx(i, e)]) => {
+                let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                vec![Emit::Lit(p), Emit::Lit(0x35), Emit::Disp(e.clone())]
+            }
+            ("dec", [R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                let p = idx_prefix(*r).expect("ix/iy");
+                vec![Emit::Lit(p), Emit::Lit(0x2B)]
+            }
+            ("dec", [R16(r)]) => vec![Emit::Lit(0x0B | (dd(*r, line)? << 4))],
+
+            // ---- 8-bit ALU ----
+            ("add" | "adc" | "sub" | "sbc" | "and" | "xor" | "or" | "cp", _) => {
+                let code = match mnem {
+                    "add" => 0,
+                    "adc" => 1,
+                    "sub" => 2,
+                    "sbc" => 3,
+                    "and" => 4,
+                    "xor" => 5,
+                    "or" => 6,
+                    _ => 7,
+                };
+                // Accept both `add a, x` and `add x` spellings.
+                let rhs = match ops {
+                    [R8(Reg8::A), x] => x,
+                    [x] => x,
+                    _ => return bad(),
+                };
+                match rhs {
+                    R8(s) => vec![Emit::Lit(0x80 | (code << 3) | r8code(*s))],
+                    IndHl => vec![Emit::Lit(0x86 | (code << 3))],
+                    IndIdx(i, e) => {
+                        let p = idx_prefix(*i).ok_or_else(|| err("bad index register".into()))?;
+                        vec![
+                            Emit::Lit(p),
+                            Emit::Lit(0x86 | (code << 3)),
+                            Emit::Disp(e.clone()),
+                        ]
+                    }
+                    Imm(e) => vec![Emit::Lit(0xC6 | (code << 3)), Emit::Byte(e.clone())],
+                    _ => return bad(),
+                }
+            }
+
+            // ---- rotates/shifts/bit via CB ----
+            ("rlc" | "rrc" | "rl" | "rr" | "sla" | "sra" | "srl", [x]) => {
+                let code = match mnem {
+                    "rlc" => 0,
+                    "rrc" => 1,
+                    "rl" => 2,
+                    "rr" => 3,
+                    "sla" => 4,
+                    "sra" => 5,
+                    _ => 7,
+                };
+                match x {
+                    R8(r) => vec![Emit::Lit(0xCB), Emit::Lit((code << 3) | r8code(*r))],
+                    IndHl => vec![Emit::Lit(0xCB), Emit::Lit((code << 3) | 6)],
+                    _ => return bad(),
+                }
+            }
+            ("bit" | "set" | "res", [Imm(b), x]) => {
+                let base: u8 = match mnem {
+                    "bit" => 0x40,
+                    "res" => 0x80,
+                    _ => 0xC0,
+                };
+                let bitno = b.eval(&self.symbols, 0, line)?;
+                if !(0..8).contains(&bitno) {
+                    return Err(err(format!("bit number {bitno} out of range")));
+                }
+                let f = (bitno as u8) << 3;
+                match x {
+                    R8(r) => vec![Emit::Lit(0xCB), Emit::Lit(base | f | r8code(*r))],
+                    IndHl => vec![Emit::Lit(0xCB), Emit::Lit(base | f | 6)],
+                    _ => return bad(),
+                }
+            }
+
+            // ---- stack ----
+            ("push", [R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                vec![Emit::Lit(idx_prefix(*r).expect("ix/iy")), Emit::Lit(0xE5)]
+            }
+            ("pop", [R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                vec![Emit::Lit(idx_prefix(*r).expect("ix/iy")), Emit::Lit(0xE1)]
+            }
+            ("push", [R16(r)]) => vec![Emit::Lit(0xC5 | (qq(*r, line)? << 4))],
+            ("pop", [R16(r)]) => vec![Emit::Lit(0xC1 | (qq(*r, line)? << 4))],
+
+            // ---- control flow ----
+            ("jp", [IndHl]) => vec![Emit::Lit(0xE9)],
+            ("jp", [R16(Reg16::Hl)]) => vec![Emit::Lit(0xE9)],
+            ("jp", [R16(r @ (Reg16::Ix | Reg16::Iy))]) => {
+                vec![Emit::Lit(idx_prefix(*r).expect("ix/iy")), Emit::Lit(0xE9)]
+            }
+            ("jp", [IndIdx(r @ (Reg16::Ix | Reg16::Iy), e)]) => {
+                if e.eval(&self.symbols, 0, line)? != 0 {
+                    return Err(err("jp (ix/iy) takes no displacement".into()));
+                }
+                vec![Emit::Lit(idx_prefix(*r).expect("ix/iy")), Emit::Lit(0xE9)]
+            }
+            // A single operand is always a target, even when it collides
+            // with a condition-code name like `c` or `lo`.
+            ("jp", [Imm(e)]) => {
+                vec![Emit::Lit(0xC3), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("jp", [_, Imm(e)]) if cond0.is_some() => {
+                let cc = cond0.expect("guarded").cc_code();
+                vec![
+                    Emit::Lit(0xC2 | (cc << 3)),
+                    Emit::Lo(e.clone()),
+                    Emit::Hi(e.clone()),
+                ]
+            }
+            ("jr", [Imm(e)]) => vec![Emit::Lit(0x18), Emit::Rel(e.clone())],
+            ("jr", [_, Imm(e)]) if cond0.is_some() => {
+                let cc = cond0.expect("guarded");
+                let code = match cc {
+                    Cond::Nz => 0x20,
+                    Cond::Z => 0x28,
+                    Cond::Nc => 0x30,
+                    Cond::C => 0x38,
+                    _ => return Err(err("jr only supports nz/z/nc/c".into())),
+                };
+                vec![Emit::Lit(code), Emit::Rel(e.clone())]
+            }
+            ("djnz", [Imm(e)]) => vec![Emit::Lit(0x10), Emit::Rel(e.clone())],
+            ("call", [Imm(e)]) => {
+                vec![Emit::Lit(0xCD), Emit::Lo(e.clone()), Emit::Hi(e.clone())]
+            }
+            ("ret", []) => vec![Emit::Lit(0xC9)],
+            ("ret", [_]) if cond0.is_some() => {
+                vec![Emit::Lit(0xC0 | (cond0.expect("guarded").cc_code() << 3))]
+            }
+            ("rst", [Imm(e)]) => {
+                let v = e.eval(&self.symbols, 0, line)?;
+                match v {
+                    0x10 | 0x18 | 0x20 | 0x28 | 0x38 => vec![Emit::Lit(0xC7 | v as u8)],
+                    _ => return Err(err(format!("rst {v:#x} is not a Rabbit restart"))),
+                }
+            }
+
+            _ => return bad(),
+        };
+        Ok(out)
+    }
+}
+
+trait CcCode {
+    fn cc_code(self) -> u8;
+}
+
+impl CcCode for Cond {
+    fn cc_code(self) -> u8 {
+        match self {
+            Cond::Nz => 0,
+            Cond::Z => 1,
+            Cond::Nc => 2,
+            Cond::C => 3,
+            Cond::Po => 4,
+            Cond::Pe => 5,
+            Cond::P => 6,
+            Cond::M => 7,
+        }
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<String>, AsmError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\r' => {
+                chars.next();
+            }
+            '"' => {
+                let mut s = String::from('"');
+                chars.next();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                s.push('"');
+                toks.push(s);
+            }
+            '\'' => {
+                let mut s = String::from('\'');
+                chars.next();
+                for c in chars.by_ref() {
+                    s.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                toks.push(s);
+            }
+            '<' | '>' => {
+                chars.next();
+                if chars.peek() == Some(&c) {
+                    chars.next();
+                    toks.push(format!("{c}{c}"));
+                } else {
+                    return Err(AsmError {
+                        line: line_no,
+                        message: format!("stray `{c}`"),
+                    });
+                }
+            }
+            '(' | ')' | ',' | ':' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '$'
+            | '=' => {
+                chars.next();
+                toks.push(c.to_string());
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '\'' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(s);
+            }
+            other => {
+                return Err(AsmError {
+                    line: line_no,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Splits a token list on top-level commas.
+fn split_commas(toks: &[String]) -> Vec<&[String]> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.as_str() {
+            "(" => depth += 1,
+            ")" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                out.push(&toks[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        out.push(&toks[start..]);
+    }
+    out
+}
+
+fn parse_operands(toks: &[String], line: usize) -> Result<Vec<Operand>, AsmError> {
+    let mut ops = Vec::new();
+    for field in split_commas(toks) {
+        if field.is_empty() {
+            return Err(AsmError {
+                line,
+                message: "empty operand".into(),
+            });
+        }
+        ops.push(parse_operand(field, line)?);
+    }
+    Ok(ops)
+}
+
+fn parse_operand(field: &[String], line: usize) -> Result<Operand, AsmError> {
+    // (…) memory operand?
+    if field.len() >= 2 && field[0] == "(" && field[field.len() - 1] == ")" {
+        let inner = &field[1..field.len() - 1];
+        if inner.len() == 1 {
+            if let Some(r) = parse_reg16(&inner[0]) {
+                return Ok(match r {
+                    Reg16::Hl => Operand::IndHl,
+                    Reg16::Bc => Operand::IndBc,
+                    Reg16::De => Operand::IndDe,
+                    Reg16::Sp => Operand::IndSp,
+                    Reg16::Ix | Reg16::Iy => Operand::IndIdx(r, Expr::Num(0)),
+                    Reg16::Af => {
+                        return Err(AsmError {
+                            line,
+                            message: "(af) is not addressable".into(),
+                        })
+                    }
+                });
+            }
+        }
+        // (ix+d), (iy+d), (sp+n)
+        if inner.len() >= 2 {
+            if let Some(r) = parse_reg16(&inner[0]) {
+                if matches!(r, Reg16::Ix | Reg16::Iy | Reg16::Sp)
+                    && (inner[1] == "+" || inner[1] == "-")
+                {
+                    let mut ep = ExprParser {
+                        toks: &inner[1..],
+                        pos: 0,
+                        line,
+                    };
+                    // leading +/- parses as part of a unary/binary chain off 0
+                    let rest = ep.parse_expr_with_leading_sign()?;
+                    return Ok(if r == Reg16::Sp {
+                        Operand::IndSpOff(rest)
+                    } else {
+                        Operand::IndIdx(r, rest)
+                    });
+                }
+            }
+        }
+        let mut ep = ExprParser {
+            toks: inner,
+            pos: 0,
+            line,
+        };
+        let e = ep.parse()?;
+        if ep.pos != inner.len() {
+            return Err(AsmError {
+                line,
+                message: "trailing tokens in memory operand".into(),
+            });
+        }
+        return Ok(Operand::IndImm(e));
+    }
+
+    if field.len() == 1 {
+        let t = &field[0];
+        if t.eq_ignore_ascii_case("af'") {
+            return Ok(Operand::AfAlt);
+        }
+        if t.eq_ignore_ascii_case("xpc") {
+            return Ok(Operand::Xpc);
+        }
+        if let Some(r) = parse_reg8(t) {
+            return Ok(Operand::R8(r));
+        }
+        if let Some(r) = parse_reg16(t) {
+            return Ok(Operand::R16(r));
+        }
+    }
+    // AF' may tokenize as ["af'"], handled above; otherwise immediate.
+    let mut ep = ExprParser {
+        toks: field,
+        pos: 0,
+        line,
+    };
+    let e = ep.parse()?;
+    if ep.pos != field.len() {
+        return Err(AsmError {
+            line,
+            message: format!("trailing tokens in operand near `{}`", field[ep.pos]),
+        });
+    }
+    Ok(Operand::Imm(e))
+}
+
+impl<'a> ExprParser<'a> {
+    /// Parses `+expr` / `-expr` (used for index displacements) as a signed
+    /// expression.
+    fn parse_expr_with_leading_sign(&mut self) -> Result<Expr, AsmError> {
+        let neg = match self.peek() {
+            Some("+") => {
+                self.bump();
+                false
+            }
+            Some("-") => {
+                self.bump();
+                true
+            }
+            _ => false,
+        };
+        let e = self.parse()?;
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing tokens in displacement"));
+        }
+        Ok(if neg {
+            Expr::Unary('-', Box::new(e))
+        } else {
+            e
+        })
+    }
+}

@@ -1,0 +1,277 @@
+//! A one-instruction-at-a-time disassembler for debugging and for the
+//! code-size accounting in the reproduction of the paper's Section 6.
+
+use crate::mem::Memory;
+
+/// A decoded instruction: its textual form and its size in bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Assembler-syntax text, e.g. `ld hl, 0x1234`.
+    pub text: String,
+    /// Encoded length in bytes (including prefixes).
+    pub len: u16,
+}
+
+const R8: [&str; 8] = ["b", "c", "d", "e", "h", "l", "(hl)", "a"];
+const DD: [&str; 4] = ["bc", "de", "hl", "sp"];
+const QQ: [&str; 4] = ["bc", "de", "hl", "af"];
+const CC: [&str; 8] = ["nz", "z", "nc", "c", "po", "pe", "p", "m"];
+const ALU: [&str; 8] = [
+    "add a,", "adc a,", "sub", "sbc a,", "and", "xor", "or", "cp",
+];
+const ROT: [&str; 8] = ["rlc", "rrc", "rl", "rr", "sla", "sra", "sll?", "srl"];
+
+/// Disassembles the instruction at physical address `addr`.
+pub fn disassemble(mem: &Memory, addr: u32) -> Decoded {
+    let b = |i: u32| mem.read_phys(addr + i);
+    let imm16 = |i: u32| u16::from_le_bytes([b(i), b(i + 1)]);
+    let rel = |i: u32| {
+        let d = b(i) as i8;
+        format!("$+{}", i32::from(d) + i as i32 + 1)
+    };
+
+    let op = b(0);
+    let (text, len): (String, u16) = match op {
+        0x00 => ("nop".into(), 1),
+        0x01 | 0x11 | 0x21 | 0x31 => (
+            format!("ld {}, {:#06x}", DD[usize::from(op >> 4)], imm16(1)),
+            3,
+        ),
+        0x02 => ("ld (bc), a".into(), 1),
+        0x12 => ("ld (de), a".into(), 1),
+        0x0A => ("ld a, (bc)".into(), 1),
+        0x1A => ("ld a, (de)".into(), 1),
+        0x03 | 0x13 | 0x23 | 0x33 => (format!("inc {}", DD[usize::from(op >> 4)]), 1),
+        0x0B | 0x1B | 0x2B | 0x3B => (format!("dec {}", DD[usize::from(op >> 4)]), 1),
+        0x04 | 0x0C | 0x14 | 0x1C | 0x24 | 0x2C | 0x34 | 0x3C => {
+            (format!("inc {}", R8[usize::from(op >> 3) & 7]), 1)
+        }
+        0x05 | 0x0D | 0x15 | 0x1D | 0x25 | 0x2D | 0x35 | 0x3D => {
+            (format!("dec {}", R8[usize::from(op >> 3) & 7]), 1)
+        }
+        0x06 | 0x0E | 0x16 | 0x1E | 0x26 | 0x2E | 0x36 | 0x3E => (
+            format!("ld {}, {:#04x}", R8[usize::from(op >> 3) & 7], b(1)),
+            2,
+        ),
+        0x07 => ("rlca".into(), 1),
+        0x0F => ("rrca".into(), 1),
+        0x17 => ("rla".into(), 1),
+        0x1F => ("rra".into(), 1),
+        0x08 => ("ex af, af'".into(), 1),
+        0x09 | 0x19 | 0x29 | 0x39 => (format!("add hl, {}", DD[usize::from(op >> 4)]), 1),
+        0x10 => (format!("djnz {}", rel(1)), 2),
+        0x18 => (format!("jr {}", rel(1)), 2),
+        0x20 | 0x28 | 0x30 | 0x38 => (
+            format!("jr {}, {}", CC[usize::from(op >> 3) & 3], rel(1)),
+            2,
+        ),
+        0x22 => (format!("ld ({:#06x}), hl", imm16(1)), 3),
+        0x2A => (format!("ld hl, ({:#06x})", imm16(1)), 3),
+        0x32 => (format!("ld ({:#06x}), a", imm16(1)), 3),
+        0x3A => (format!("ld a, ({:#06x})", imm16(1)), 3),
+        0x27 => (format!("add sp, {}", b(1) as i8), 2),
+        0x2F => ("cpl".into(), 1),
+        0x37 => ("scf".into(), 1),
+        0x3F => ("ccf".into(), 1),
+        0x76 => ("halt".into(), 1),
+        0x40..=0x7F => (
+            format!(
+                "ld {}, {}",
+                R8[usize::from(op >> 3) & 7],
+                R8[usize::from(op) & 7]
+            ),
+            1,
+        ),
+        0x80..=0xBF => (
+            format!(
+                "{} {}",
+                ALU[usize::from(op >> 3) & 7],
+                R8[usize::from(op) & 7]
+            ),
+            1,
+        ),
+        0xC0 | 0xC8 | 0xD0 | 0xD8 | 0xE0 | 0xE8 | 0xF0 | 0xF8 => {
+            (format!("ret {}", CC[usize::from(op >> 3) & 7]), 1)
+        }
+        0xC1 | 0xD1 | 0xE1 | 0xF1 => (format!("pop {}", QQ[usize::from((op >> 4) - 0xC)]), 1),
+        0xC5 | 0xD5 | 0xE5 | 0xF5 => (format!("push {}", QQ[usize::from((op >> 4) - 0xC)]), 1),
+        0xC2 | 0xCA | 0xD2 | 0xDA | 0xE2 | 0xEA | 0xF2 | 0xFA => (
+            format!("jp {}, {:#06x}", CC[usize::from(op >> 3) & 7], imm16(1)),
+            3,
+        ),
+        0xC3 => (format!("jp {:#06x}", imm16(1)), 3),
+        0xC6 | 0xCE | 0xD6 | 0xDE | 0xE6 | 0xEE | 0xF6 | 0xFE => (
+            format!("{} {:#04x}", ALU[usize::from(op >> 3) & 7], b(1)),
+            2,
+        ),
+        0xD7 | 0xDF | 0xE7 | 0xEF | 0xFF => (format!("rst {:#04x}", op & 0x38), 1),
+        0xC9 => ("ret".into(), 1),
+        0xCD => (format!("call {:#06x}", imm16(1)), 3),
+        0xC4 => (format!("ld hl, (sp+{})", b(1)), 2),
+        0xD4 => (format!("ld (sp+{}), hl", b(1)), 2),
+        0xCC => ("bool hl".into(), 1),
+        0xDC => ("and hl, de".into(), 1),
+        0xEC => ("or hl, de".into(), 1),
+        0xFC => ("rr hl".into(), 1),
+        0xF3 => ("rl de".into(), 1),
+        0xFB => ("rr de".into(), 1),
+        0xF7 => ("mul".into(), 1),
+        0xD9 => ("exx".into(), 1),
+        0xE3 => ("ex (sp), hl".into(), 1),
+        0xE9 => ("jp (hl)".into(), 1),
+        0xEB => ("ex de, hl".into(), 1),
+        0xF9 => ("ld sp, hl".into(), 1),
+        0xD3 => {
+            let inner = disassemble(mem, addr + 1);
+            (format!("ioi {}", inner.text), inner.len + 1)
+        }
+        0xDB => {
+            let inner = disassemble(mem, addr + 1);
+            (format!("ioe {}", inner.text), inner.len + 1)
+        }
+        0xCB => {
+            let sub = b(1);
+            let r = R8[usize::from(sub) & 7];
+            let f = usize::from(sub >> 3) & 7;
+            let text = match sub >> 6 {
+                0 => format!("{} {}", ROT[f], r),
+                1 => format!("bit {f}, {r}"),
+                2 => format!("res {f}, {r}"),
+                _ => format!("set {f}, {r}"),
+            };
+            (text, 2)
+        }
+        0xED => {
+            let sub = b(1);
+            match sub {
+                0x42 | 0x52 | 0x62 | 0x72 => {
+                    (format!("sbc hl, {}", DD[usize::from((sub >> 4) - 4)]), 2)
+                }
+                0x4A | 0x5A | 0x6A | 0x7A => {
+                    (format!("adc hl, {}", DD[usize::from((sub >> 4) - 4)]), 2)
+                }
+                0x43 | 0x53 | 0x63 | 0x73 => (
+                    format!(
+                        "ld ({:#06x}), {}",
+                        imm16(2),
+                        DD[usize::from((sub >> 4) - 4)]
+                    ),
+                    4,
+                ),
+                0x4B | 0x5B | 0x6B | 0x7B => (
+                    format!(
+                        "ld {}, ({:#06x})",
+                        DD[usize::from((sub >> 4) - 4)],
+                        imm16(2)
+                    ),
+                    4,
+                ),
+                0x44 => ("neg".into(), 2),
+                0x4D => ("reti".into(), 2),
+                0x46 => ("ipset 0".into(), 2),
+                0x56 => ("ipset 1".into(), 2),
+                0x4E => ("ipset 2".into(), 2),
+                0x5E => ("ipset 3".into(), 2),
+                0x5D => ("ipres".into(), 2),
+                0x67 => ("ld xpc, a".into(), 2),
+                0x77 => ("ld a, xpc".into(), 2),
+                0xA0 => ("ldi".into(), 2),
+                0xB0 => ("ldir".into(), 2),
+                0xA8 => ("ldd".into(), 2),
+                0xB8 => ("lddr".into(), 2),
+                _ => (format!("db 0xed, {sub:#04x} ; ?"), 2),
+            }
+        }
+        0xDD | 0xFD => {
+            let idx = if op == 0xDD { "ix" } else { "iy" };
+            let sub = b(1);
+            let d = |i: u32| b(i) as i8;
+            match sub {
+                0x21 => (format!("ld {idx}, {:#06x}", imm16(2)), 4),
+                0x22 => (format!("ld ({:#06x}), {idx}", imm16(2)), 4),
+                0x2A => (format!("ld {idx}, ({:#06x})", imm16(2)), 4),
+                0x23 => (format!("inc {idx}"), 2),
+                0x2B => (format!("dec {idx}"), 2),
+                0x09 | 0x19 | 0x29 | 0x39 => {
+                    let ss = match sub >> 4 {
+                        0 => "bc",
+                        1 => "de",
+                        2 => idx,
+                        _ => "sp",
+                    };
+                    (format!("add {idx}, {ss}"), 2)
+                }
+                0x34 => (format!("inc ({idx}{:+})", d(2)), 3),
+                0x35 => (format!("dec ({idx}{:+})", d(2)), 3),
+                0x36 => (format!("ld ({idx}{:+}), {:#04x}", d(2), b(3)), 4),
+                0x46 | 0x4E | 0x56 | 0x5E | 0x66 | 0x6E | 0x7E => (
+                    format!("ld {}, ({idx}{:+})", R8[usize::from(sub >> 3) & 7], d(2)),
+                    3,
+                ),
+                0x70..=0x75 | 0x77 => (
+                    format!("ld ({idx}{:+}), {}", d(2), R8[usize::from(sub) & 7]),
+                    3,
+                ),
+                0x86 | 0x8E | 0x96 | 0x9E | 0xA6 | 0xAE | 0xB6 | 0xBE => (
+                    format!("{} ({idx}{:+})", ALU[usize::from(sub >> 3) & 7], d(2)),
+                    3,
+                ),
+                0xE1 => (format!("pop {idx}"), 2),
+                0xE5 => (format!("push {idx}"), 2),
+                0xE3 => (format!("ex (sp), {idx}"), 2),
+                0xE9 => (format!("jp ({idx})"), 2),
+                0xF9 => (format!("ld sp, {idx}"), 2),
+                _ => (format!("db {op:#04x}, {sub:#04x} ; ?"), 2),
+            }
+        }
+        _ => (format!("db {op:#04x} ; ?"), 1),
+    };
+    Decoded { text, len }
+}
+
+/// Disassembles `count` consecutive instructions starting at `addr`,
+/// returning `(address, text)` pairs.
+pub fn listing(mem: &Memory, mut addr: u32, count: usize) -> Vec<(u32, String)> {
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let d = disassemble(mem, addr);
+        out.push((addr, d.text));
+        addr += u32::from(d.len);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_basic_forms() {
+        let mut mem = Memory::new();
+        mem.load(0x8000, &[0x21, 0x34, 0x12, 0x7E, 0xC9]);
+        let d = disassemble(&mem, 0x8000);
+        assert_eq!(d.text, "ld hl, 0x1234");
+        assert_eq!(d.len, 3);
+        assert_eq!(disassemble(&mem, 0x8003).text, "ld a, (hl)");
+        assert_eq!(disassemble(&mem, 0x8004).text, "ret");
+    }
+
+    #[test]
+    fn decodes_prefixed_io() {
+        let mut mem = Memory::new();
+        mem.load(0x8000, &[0xD3, 0x32, 0xC0, 0x00]);
+        let d = disassemble(&mem, 0x8000);
+        assert_eq!(d.text, "ioi ld (0x00c0), a");
+        assert_eq!(d.len, 4);
+    }
+
+    #[test]
+    fn listing_walks_instruction_stream() {
+        let mut mem = Memory::new();
+        mem.load(0x8000, &[0x00, 0x3E, 0x05, 0x76]);
+        let l = listing(&mem, 0x8000, 3);
+        assert_eq!(l.len(), 3);
+        assert_eq!(l[0].1, "nop");
+        assert_eq!(l[2].1, "halt");
+    }
+}

@@ -1,0 +1,90 @@
+//! The internal/external I/O space and interrupt request interface.
+//!
+//! The Rabbit 2000 has no Z80-style `in`/`out` instructions; instead the
+//! `ioi` and `ioe` prefixes redirect the memory operand of the following
+//! instruction into the internal or external I/O space (the paper's
+//! `WrPortI(SADR, ...)` calls compile to `ioi ld (mn),a`). Peripherals
+//! implement [`IoSpace`]; the CPU consults it for prefixed accesses and
+//! polls it for interrupt requests between instructions.
+
+/// Well-known internal I/O port numbers used by this model.
+///
+/// The numbering follows the Rabbit 2000 register map where we model the
+/// corresponding peripheral and is otherwise stable-but-arbitrary.
+pub mod ports {
+    /// `STACKSEG` MMU register.
+    pub const STACKSEG: u16 = 0x11;
+    /// `DATASEG` MMU register.
+    pub const DATASEG: u16 = 0x12;
+    /// `SEGSIZE` MMU register.
+    pub const SEGSIZE: u16 = 0x13;
+    /// Serial port A data register (`SADR`).
+    pub const SADR: u16 = 0xC0;
+    /// Serial port A status register (`SASR`).
+    pub const SASR: u16 = 0xC3;
+    /// Serial port A control register (`SACR`).
+    pub const SACR: u16 = 0xC4;
+    /// Interrupt-0 control register (`I0CR`).
+    pub const I0CR: u16 = 0x98;
+    /// Timer A control register.
+    pub const TACR: u16 = 0xA0;
+    /// Real-time clock, low byte first; reading latches the count.
+    pub const RTC0: u16 = 0x02;
+}
+
+/// An interrupt request presented to the CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupt {
+    /// Priority 1..=3; the CPU takes the request only when this exceeds its
+    /// current interrupt priority.
+    pub priority: u8,
+    /// Logical address of the service routine.
+    pub vector: u16,
+}
+
+/// The bus of I/O peripherals visible to a [`crate::Cpu`].
+pub trait IoSpace {
+    /// Reads a byte from an I/O port. `external` is true for `ioe`-prefixed
+    /// accesses (the external I/O strobe).
+    fn io_read(&mut self, port: u16, external: bool) -> u8;
+
+    /// Writes a byte to an I/O port.
+    fn io_write(&mut self, port: u16, value: u8, external: bool);
+
+    /// Returns the highest-priority pending interrupt, if any. The request
+    /// must stay pending until acknowledged.
+    fn pending_interrupt(&mut self) -> Option<Interrupt> {
+        None
+    }
+
+    /// Notifies the device that `vector`'s request was accepted.
+    fn acknowledge_interrupt(&mut self, _vector: u16) {}
+
+    /// Advances device time by `cycles` CPU clocks.
+    fn tick(&mut self, _cycles: u64) {}
+}
+
+/// An I/O space with no peripherals: reads float high, writes vanish.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullIo;
+
+impl IoSpace for NullIo {
+    fn io_read(&mut self, _port: u16, _external: bool) -> u8 {
+        0xFF
+    }
+
+    fn io_write(&mut self, _port: u16, _value: u8, _external: bool) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_io_floats_high() {
+        let mut io = NullIo;
+        assert_eq!(io.io_read(0x1234, false), 0xFF);
+        io.io_write(0, 0, true);
+        assert_eq!(io.pending_interrupt(), None);
+    }
+}

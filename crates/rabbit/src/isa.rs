@@ -1,0 +1,110 @@
+//! The instruction set reference: every opcode this toolchain (assembler,
+//! interpreter, disassembler) agrees on, with cycle costs.
+//!
+//! The map is **Rabbit-flavoured Z80**: the Z80 core the Rabbit 2000
+//! keeps, plus the Rabbit's replacements in the slots Z80 freed up. Where
+//! this model takes a minor encoding liberty versus the factory silicon
+//! it is noted; internal consistency across the three tools is what the
+//! experiments rely on, and `tests/roundtrip.rs` enforces it
+//! instruction by instruction.
+//!
+//! # Unprefixed opcodes
+//!
+//! | opcode | instruction | cycles | notes |
+//! |---|---|---|---|
+//! | `00` | `nop` | 2 | |
+//! | `01/11/21/31 nn` | `ld bc/de/hl/sp, nn` | 6 | |
+//! | `02/12` | `ld (bc)/(de), a` | 7 | |
+//! | `0A/1A` | `ld a, (bc)/(de)` | 6 | |
+//! | `03/13/23/33` | `inc ss` | 2 | |
+//! | `0B/1B/2B/3B` | `dec ss` | 2 | |
+//! | `04..3C` | `inc r` / `inc (hl)` | 2 / 8 | |
+//! | `05..3D` | `dec r` / `dec (hl)` | 2 / 8 | |
+//! | `06..3E n` | `ld r, n` / `ld (hl), n` | 4 / 7 | |
+//! | `07/0F/17/1F` | `rlca/rrca/rla/rra` | 2 | |
+//! | `08` | `ex af, af'` | 2 | |
+//! | `09/19/29/39` | `add hl, ss` | 2 | |
+//! | `10 e` | `djnz e` | 5 | |
+//! | `18 e` | `jr e` | 5 | |
+//! | `20/28/30/38 e` | `jr nz/z/nc/c, e` | 5 | |
+//! | `22/2A nn` | `ld (nn), hl` / `ld hl, (nn)` | 13 / 11 | |
+//! | `32/3A nn` | `ld (nn), a` / `ld a, (nn)` | 10 / 9 | |
+//! | `27 d` | `add sp, d` | 4 | Rabbit (replaces Z80 `daa`) |
+//! | `2F/37/3F` | `cpl/scf/ccf` | 2 | |
+//! | `40..7F` | `ld r, r'` (incl. `(hl)` forms) | 2 / 5 / 6 | `76` = `halt` (2) |
+//! | `80..BF` | `add/adc/sub/sbc/and/xor/or/cp a, r` | 2 / 5 | `(hl)` form 5 |
+//! | `C0..F8` | `ret cc` | 8 taken / 2 not | |
+//! | `C1/D1/E1/F1` | `pop qq` | 7 | |
+//! | `C5/D5/E5/F5` | `push qq` | 10 | |
+//! | `C2..FA nn` | `jp cc, nn` | 7 | |
+//! | `C3 nn` | `jp nn` | 7 | |
+//! | `C6..FE n` | ALU `a, n` | 4 | |
+//! | `C4 n` | `ld hl, (sp+n)` | 9 | Rabbit (replaces `call nz`) |
+//! | `D4 n` | `ld (sp+n), hl` | 11 | Rabbit |
+//! | `CC` | `bool hl` | 2 | Rabbit |
+//! | `DC/EC` | `and/or hl, de` | 2 | Rabbit |
+//! | `FC` | `rr hl` | 2 | Rabbit |
+//! | `F3/FB` | `rl de` / `rr de` | 2 | Rabbit (replace `di`/`ei`) |
+//! | `F7` | `mul` (`hl:bc = bc × de`, signed) | 12 | Rabbit |
+//! | `C9` | `ret` | 8 | |
+//! | `CD nn` | `call nn` | 12 | conditional calls dropped, as on the Rabbit |
+//! | `D7/DF/E7/EF/FF` | `rst 10/18/20/28/38` | 10 | the Rabbit's five restarts |
+//! | `D9` | `exx` | 2 | |
+//! | `E3` | `ex (sp), hl` | 15 | |
+//! | `E9` | `jp (hl)` | 4 | |
+//! | `EB` | `ex de, hl` | 2 | |
+//! | `F9` | `ld sp, hl` | 2 | |
+//! | `D3` | `ioi` prefix | 2 | next memory operand → internal I/O |
+//! | `DB` | `ioe` prefix | 2 | next memory operand → external I/O |
+//!
+//! # `CB` prefix
+//!
+//! Standard Z80 bit operations: `rlc/rrc/rl/rr/sla/sra/srl r` (4; `(hl)`
+//! 10), `bit b, r` (4; `(hl)` 7), `res`/`set b, r` (4; `(hl)` 10).
+//! `sll` is not implemented (undocumented on the Z80, absent on the
+//! Rabbit).
+//!
+//! # `ED` prefix
+//!
+//! | opcode | instruction | cycles |
+//! |---|---|---|
+//! | `42..72` | `sbc hl, ss` | 4 |
+//! | `4A..7A` | `adc hl, ss` | 4 |
+//! | `43..73 nn` | `ld (nn), ss` | 13 |
+//! | `4B..7B nn` | `ld ss, (nn)` | 11 |
+//! | `44` | `neg` | 4 |
+//! | `4D` | `reti` (pops IP, then returns) | 12 |
+//! | `46/56/4E/5E` | `ipset 0/1/2/3` | 4 |
+//! | `5D` | `ipres` | 4 |
+//! | `67/77` | `ld xpc, a` / `ld a, xpc` | 4 |
+//! | `A0/B0/A8/B8` | `ldi/ldir/ldd/lddr` | 10 (+7 per repeat) |
+//!
+//! # `DD`/`FD` prefixes (IX / IY)
+//!
+//! `ld ix, nn` (8); `ld ix, (nn)` / `ld (nn), ix` (13/15); `inc/dec ix`
+//! (4); `add ix, ss` (4); `inc/dec (ix+d)` (12); `ld (ix+d), n` (11);
+//! `ld r, (ix+d)` (9); `ld (ix+d), r` (10); ALU `a, (ix+d)` (9);
+//! `push ix` (12); `pop ix` (9); `ex (sp), ix` (15); `jp (ix)` (6);
+//! `ld sp, ix` (4). `DDCB` double-prefixed bit operations are not
+//! implemented (unused by this repository's code generators).
+//!
+//! # Interrupts
+//!
+//! A device (`crate::IoSpace`) presents `(priority, vector)`. Between
+//! instructions, if `priority > IP & 3`, the CPU pushes `PC`, performs
+//! `ipset priority`, and jumps to the vector (13 cycles). `reti` restores
+//! the priority and returns. `IP` holds four stacked 2-bit priorities, as
+//! on the Rabbit.
+//!
+//! # Fidelity notes
+//!
+//! * Cycle costs follow the Rabbit 2000 pattern (2-clock register
+//!   operations, memory adders); a few values are rounded. Every
+//!   experiment in this repository compares *ratios* measured on this one
+//!   table, which keeps those comparisons exact.
+//! * `mul` is signed 16×16→32, as on the Rabbit.
+//! * The paper-relevant Rabbit extras (`ioi`/`ioe`, `ipset`/`ipres`,
+//!   `xpc` moves, `bool`, 16-bit logic) are implemented; `ldp` physical
+//!   loads and `lcall/lret` long calls are not — code reaches past 64 KiB
+//!   through the XPC window instead, which is how the harnesses map
+//!   extended data.

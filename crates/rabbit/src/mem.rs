@@ -1,0 +1,230 @@
+//! Physical memory and the Rabbit 2000 memory-management unit.
+//!
+//! The Rabbit manipulates 16-bit *logical* addresses but can reach 1 MiB of
+//! *physical* memory through four windows (the paper's §4: "like the Z80
+//! \[it\] manipulates 16-bit addresses \[but\] can access up to 1 MB through
+//! bank switching"):
+//!
+//! | logical range        | segment | physical mapping                   |
+//! |----------------------|---------|------------------------------------|
+//! | `0x0000..dataseg`    | root    | identity                           |
+//! | `dataseg..stackseg`  | data    | `addr + DATASEG * 0x1000`          |
+//! | `stackseg..0xE000`   | stack   | `addr + STACKSEG * 0x1000`         |
+//! | `0xE000..=0xFFFF`    | xmem    | `addr + XPC * 0x1000`              |
+//!
+//! The boundaries come from the two nibbles of the `SEGSIZE` register; the
+//! xmem window selector `XPC` is a CPU register.
+//!
+//! On the RMC2000 the physical space holds 512 KiB of flash at
+//! `0x00000..0x80000` and 128 KiB of SRAM at `0x80000..0xA0000`. Runtime
+//! stores to flash are ignored (flash requires an unlock sequence the
+//! firmware never issues); images are loaded through [`Memory::load`],
+//! which bypasses write protection.
+
+/// Total physical address space reachable through the MMU.
+pub const PHYS_SIZE: usize = 0x10_0000;
+
+/// Size of the RMC2000's flash part (512 KiB).
+pub const FLASH_SIZE: usize = 0x8_0000;
+
+/// Size of the RMC2000's SRAM part (128 KiB).
+pub const SRAM_SIZE: usize = 0x2_0000;
+
+/// First physical address of SRAM.
+pub const SRAM_BASE: u32 = FLASH_SIZE as u32;
+
+/// Base logical address of the bank-switched xmem window.
+pub const XMEM_WINDOW: u16 = 0xE000;
+
+/// The MMU mapping registers (normally programmed through internal I/O
+/// ports `0x11`–`0x13`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mmu {
+    /// `SEGSIZE`: low nibble = data-segment start (in 4 KiB units), high
+    /// nibble = stack-segment start.
+    pub segsize: u8,
+    /// `DATASEG`: 4 KiB-unit offset added to logical addresses in the data
+    /// segment.
+    pub dataseg: u8,
+    /// `STACKSEG`: 4 KiB-unit offset added to logical addresses in the
+    /// stack segment.
+    pub stackseg: u8,
+}
+
+impl Mmu {
+    /// Power-on mapping: everything identity-mapped (data segment starts at
+    /// `0xD000`, stack at `0xD000`, offsets zero), matching a freshly reset
+    /// Rabbit closely enough for firmware that programs the MMU itself.
+    pub fn new() -> Mmu {
+        Mmu {
+            segsize: 0xDD,
+            dataseg: 0,
+            stackseg: 0,
+        }
+    }
+
+    /// Logical start of the data segment.
+    pub fn data_base(&self) -> u16 {
+        u16::from(self.segsize & 0x0F) << 12
+    }
+
+    /// Logical start of the stack segment.
+    pub fn stack_base(&self) -> u16 {
+        u16::from(self.segsize >> 4) << 12
+    }
+
+    /// Translates a logical address to a physical address given the current
+    /// `XPC` window.
+    pub fn translate(&self, addr: u16, xpc: u8) -> u32 {
+        if addr >= XMEM_WINDOW {
+            (u32::from(addr) + u32::from(xpc) * 0x1000) & (PHYS_SIZE as u32 - 1)
+        } else if addr >= self.stack_base() {
+            u32::from(addr).wrapping_add(u32::from(self.stackseg) * 0x1000) & (PHYS_SIZE as u32 - 1)
+        } else if addr >= self.data_base() {
+            u32::from(addr).wrapping_add(u32::from(self.dataseg) * 0x1000) & (PHYS_SIZE as u32 - 1)
+        } else {
+            u32::from(addr)
+        }
+    }
+}
+
+impl Default for Mmu {
+    fn default() -> Mmu {
+        Mmu::new()
+    }
+}
+
+/// The physical memory of the board: flash plus SRAM.
+///
+/// Unpopulated physical addresses read as `0xFF` and ignore writes, like a
+/// floating bus.
+pub struct Memory {
+    flash: Vec<u8>,
+    sram: Vec<u8>,
+    /// Count of stores that targeted flash and were dropped; useful for
+    /// catching firmware bugs in tests.
+    pub flash_write_faults: u64,
+}
+
+impl Memory {
+    /// Creates memory with erased flash (all `0xFF`) and zeroed SRAM.
+    pub fn new() -> Memory {
+        Memory {
+            flash: vec![0xFF; FLASH_SIZE],
+            sram: vec![0; SRAM_SIZE],
+            flash_write_faults: 0,
+        }
+    }
+
+    /// Reads one byte of physical memory.
+    pub fn read_phys(&self, phys: u32) -> u8 {
+        let p = phys as usize;
+        if p < FLASH_SIZE {
+            self.flash[p]
+        } else if p < FLASH_SIZE + SRAM_SIZE {
+            self.sram[p - FLASH_SIZE]
+        } else {
+            0xFF
+        }
+    }
+
+    /// Writes one byte of physical memory. Stores to flash are dropped and
+    /// counted in [`Memory::flash_write_faults`].
+    pub fn write_phys(&mut self, phys: u32, v: u8) {
+        let p = phys as usize;
+        if p < FLASH_SIZE {
+            self.flash_write_faults += 1;
+        } else if p < FLASH_SIZE + SRAM_SIZE {
+            self.sram[p - FLASH_SIZE] = v;
+        }
+    }
+
+    /// Loads an image at a physical address, bypassing flash write
+    /// protection (this models the development kit's programming port).
+    pub fn load(&mut self, phys: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            let p = phys as usize + i;
+            if p < FLASH_SIZE {
+                self.flash[p] = b;
+            } else if p < FLASH_SIZE + SRAM_SIZE {
+                self.sram[p - FLASH_SIZE] = b;
+            }
+        }
+    }
+
+    /// Copies `len` bytes starting at a physical address into a vector.
+    pub fn dump(&self, phys: u32, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_phys(phys + i as u32)).collect()
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_mapping_in_root() {
+        let mmu = Mmu::new();
+        assert_eq!(mmu.translate(0x1234, 0), 0x1234);
+    }
+
+    #[test]
+    fn xpc_window_maps_to_extended_memory() {
+        let mmu = Mmu::new();
+        // phys = logical + XPC*0x1000: XPC = 0x72 puts logical 0xE000 at
+        // physical 0x80000 (the base of SRAM).
+        assert_eq!(mmu.translate(0xE000, 0x72), 0x80000);
+        assert_eq!(mmu.translate(0xFFFF, 0x72), 0x81FFF);
+    }
+
+    #[test]
+    fn data_segment_offset_applies() {
+        let mmu = Mmu {
+            segsize: 0xD5, // data segment starts at 0x5000
+            dataseg: 0x80, // shifted up by 0x80000 (into SRAM)
+            stackseg: 0,
+        };
+        assert_eq!(mmu.translate(0x4FFF, 0), 0x4FFF);
+        assert_eq!(mmu.translate(0x5000, 0), 0x85000);
+    }
+
+    #[test]
+    fn stack_segment_offset_applies() {
+        let mmu = Mmu {
+            segsize: 0xD5,
+            dataseg: 0,
+            stackseg: 0x7F, // 0xD000 + 0x7F000 = 0x8C000
+        };
+        assert_eq!(mmu.translate(0xD000, 0), 0x8C000);
+    }
+
+    #[test]
+    fn flash_is_write_protected_at_runtime() {
+        let mut mem = Memory::new();
+        mem.write_phys(0x100, 0xAB);
+        assert_eq!(mem.read_phys(0x100), 0xFF);
+        assert_eq!(mem.flash_write_faults, 1);
+        mem.load(0x100, &[0xAB]);
+        assert_eq!(mem.read_phys(0x100), 0xAB);
+    }
+
+    #[test]
+    fn sram_reads_back() {
+        let mut mem = Memory::new();
+        mem.write_phys(SRAM_BASE + 5, 0x42);
+        assert_eq!(mem.read_phys(SRAM_BASE + 5), 0x42);
+    }
+
+    #[test]
+    fn unpopulated_space_floats_high() {
+        let mut mem = Memory::new();
+        mem.write_phys(0xF0000, 1);
+        assert_eq!(mem.read_phys(0xF0000), 0xFF);
+    }
+}

@@ -1,0 +1,333 @@
+//! The Rabbit 2000 register file.
+//!
+//! The Rabbit keeps the Z80's main and alternate banks (`AF BC DE HL` /
+//! `AF' BC' DE' HL'`), the index registers `IX`/`IY`, the stack pointer and
+//! program counter, and adds `XPC` (the 8-bit extended-memory window
+//! selector) and `IP` (the interrupt-priority register).
+
+use std::fmt;
+
+/// Condition-code flag bits stored in the `F` register.
+///
+/// The layout follows the Z80: the Rabbit 2000 keeps `S`, `Z`, `L/V` and
+/// `C` in the same positions; we additionally maintain `H` and `N` so that
+/// Z80-style arithmetic semantics hold exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flags;
+
+impl Flags {
+    /// Sign flag: bit 7 of the result.
+    pub const S: u8 = 0x80;
+    /// Zero flag.
+    pub const Z: u8 = 0x40;
+    /// Half-carry flag (carry out of bit 3).
+    pub const H: u8 = 0x10;
+    /// Parity / overflow flag (the Rabbit calls this `L/V`).
+    pub const PV: u8 = 0x04;
+    /// Add/subtract flag (used by `neg`-style semantics).
+    pub const N: u8 = 0x02;
+    /// Carry flag.
+    pub const C: u8 = 0x01;
+}
+
+/// An 8-bit register name, in the Z80 encoding order used by opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg8 {
+    /// Register `B` (code 0).
+    B = 0,
+    /// Register `C` (code 1).
+    C = 1,
+    /// Register `D` (code 2).
+    D = 2,
+    /// Register `E` (code 3).
+    E = 3,
+    /// Register `H` (code 4).
+    H = 4,
+    /// Register `L` (code 5).
+    L = 5,
+    /// Register `A` (code 7; code 6 is the `(HL)` pseudo-operand).
+    A = 7,
+}
+
+impl Reg8 {
+    /// Decodes a 3-bit register field. Returns `None` for code 6, which
+    /// denotes the `(HL)` memory operand rather than a register.
+    pub fn from_code(code: u8) -> Option<Reg8> {
+        match code & 7 {
+            0 => Some(Reg8::B),
+            1 => Some(Reg8::C),
+            2 => Some(Reg8::D),
+            3 => Some(Reg8::E),
+            4 => Some(Reg8::H),
+            5 => Some(Reg8::L),
+            7 => Some(Reg8::A),
+            _ => None,
+        }
+    }
+}
+
+/// A 16-bit register pair name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reg16 {
+    /// Pair `BC`.
+    Bc,
+    /// Pair `DE`.
+    De,
+    /// Pair `HL`.
+    Hl,
+    /// Stack pointer.
+    Sp,
+    /// Accumulator/flags pair (only for `push`/`pop`).
+    Af,
+    /// Index register `IX`.
+    Ix,
+    /// Index register `IY`.
+    Iy,
+}
+
+/// The complete CPU register state.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Registers {
+    /// Accumulator.
+    pub a: u8,
+    /// Flags.
+    pub f: u8,
+    /// General registers.
+    pub b: u8,
+    pub c: u8,
+    pub d: u8,
+    pub e: u8,
+    pub h: u8,
+    pub l: u8,
+    /// Alternate bank.
+    pub a_alt: u8,
+    pub f_alt: u8,
+    pub b_alt: u8,
+    pub c_alt: u8,
+    pub d_alt: u8,
+    pub e_alt: u8,
+    pub h_alt: u8,
+    pub l_alt: u8,
+    /// Index registers.
+    pub ix: u16,
+    pub iy: u16,
+    /// Stack pointer.
+    pub sp: u16,
+    /// Program counter (logical address).
+    pub pc: u16,
+    /// Extended-memory window selector (the `XPC` register).
+    pub xpc: u8,
+    /// Interrupt priority (0 = all enabled; 1..=3 mask lower priorities).
+    pub ip: u8,
+}
+
+impl Registers {
+    /// Creates a register file in the post-reset state: everything zero,
+    /// stack pointer at the top of the root segment.
+    pub fn new() -> Registers {
+        Registers {
+            a: 0,
+            f: 0,
+            b: 0,
+            c: 0,
+            d: 0,
+            e: 0,
+            h: 0,
+            l: 0,
+            a_alt: 0,
+            f_alt: 0,
+            b_alt: 0,
+            c_alt: 0,
+            d_alt: 0,
+            e_alt: 0,
+            h_alt: 0,
+            l_alt: 0,
+            ix: 0,
+            iy: 0,
+            sp: 0xDFFF,
+            pc: 0,
+            xpc: 0,
+            ip: 0,
+        }
+    }
+
+    /// Reads an 8-bit register.
+    pub fn get8(&self, r: Reg8) -> u8 {
+        match r {
+            Reg8::A => self.a,
+            Reg8::B => self.b,
+            Reg8::C => self.c,
+            Reg8::D => self.d,
+            Reg8::E => self.e,
+            Reg8::H => self.h,
+            Reg8::L => self.l,
+        }
+    }
+
+    /// Writes an 8-bit register.
+    pub fn set8(&mut self, r: Reg8, v: u8) {
+        match r {
+            Reg8::A => self.a = v,
+            Reg8::B => self.b = v,
+            Reg8::C => self.c = v,
+            Reg8::D => self.d = v,
+            Reg8::E => self.e = v,
+            Reg8::H => self.h = v,
+            Reg8::L => self.l = v,
+        }
+    }
+
+    /// Reads a 16-bit register pair.
+    pub fn get16(&self, r: Reg16) -> u16 {
+        match r {
+            Reg16::Bc => u16::from_be_bytes([self.b, self.c]),
+            Reg16::De => u16::from_be_bytes([self.d, self.e]),
+            Reg16::Hl => u16::from_be_bytes([self.h, self.l]),
+            Reg16::Sp => self.sp,
+            Reg16::Af => u16::from_be_bytes([self.a, self.f]),
+            Reg16::Ix => self.ix,
+            Reg16::Iy => self.iy,
+        }
+    }
+
+    /// Writes a 16-bit register pair.
+    pub fn set16(&mut self, r: Reg16, v: u16) {
+        let [hi, lo] = v.to_be_bytes();
+        match r {
+            Reg16::Bc => {
+                self.b = hi;
+                self.c = lo;
+            }
+            Reg16::De => {
+                self.d = hi;
+                self.e = lo;
+            }
+            Reg16::Hl => {
+                self.h = hi;
+                self.l = lo;
+            }
+            Reg16::Sp => self.sp = v,
+            Reg16::Af => {
+                self.a = hi;
+                self.f = lo;
+            }
+            Reg16::Ix => self.ix = v,
+            Reg16::Iy => self.iy = v,
+        }
+    }
+
+    /// Convenience accessor for `HL`.
+    pub fn hl(&self) -> u16 {
+        self.get16(Reg16::Hl)
+    }
+
+    /// Convenience accessor for `BC`.
+    pub fn bc(&self) -> u16 {
+        self.get16(Reg16::Bc)
+    }
+
+    /// Convenience accessor for `DE`.
+    pub fn de(&self) -> u16 {
+        self.get16(Reg16::De)
+    }
+
+    /// Tests a flag bit.
+    pub fn flag(&self, bit: u8) -> bool {
+        self.f & bit != 0
+    }
+
+    /// Sets or clears a flag bit.
+    pub fn set_flag(&mut self, bit: u8, on: bool) {
+        if on {
+            self.f |= bit;
+        } else {
+            self.f &= !bit;
+        }
+    }
+
+    /// Swaps `AF` with the alternate bank (`ex af,af'`).
+    pub fn swap_af(&mut self) {
+        std::mem::swap(&mut self.a, &mut self.a_alt);
+        std::mem::swap(&mut self.f, &mut self.f_alt);
+    }
+
+    /// Swaps `BC`, `DE` and `HL` with the alternate bank (`exx`).
+    pub fn swap_main(&mut self) {
+        std::mem::swap(&mut self.b, &mut self.b_alt);
+        std::mem::swap(&mut self.c, &mut self.c_alt);
+        std::mem::swap(&mut self.d, &mut self.d_alt);
+        std::mem::swap(&mut self.e, &mut self.e_alt);
+        std::mem::swap(&mut self.h, &mut self.h_alt);
+        std::mem::swap(&mut self.l, &mut self.l_alt);
+    }
+}
+
+impl Default for Registers {
+    fn default() -> Registers {
+        Registers::new()
+    }
+}
+
+impl fmt::Debug for Registers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "A={:02X} F={:02X} BC={:04X} DE={:04X} HL={:04X} IX={:04X} IY={:04X} SP={:04X} PC={:04X} XPC={:02X} IP={}",
+            self.a,
+            self.f,
+            self.bc(),
+            self.de(),
+            self.hl(),
+            self.ix,
+            self.iy,
+            self.sp,
+            self.pc,
+            self.xpc,
+            self.ip,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_round_trip() {
+        let mut r = Registers::new();
+        r.set16(Reg16::Bc, 0x1234);
+        assert_eq!(r.b, 0x12);
+        assert_eq!(r.c, 0x34);
+        assert_eq!(r.get16(Reg16::Bc), 0x1234);
+        r.set16(Reg16::Af, 0xABCD);
+        assert_eq!(r.a, 0xAB);
+        assert_eq!(r.f, 0xCD);
+    }
+
+    #[test]
+    fn reg8_codes_match_z80_encoding() {
+        assert_eq!(Reg8::from_code(0), Some(Reg8::B));
+        assert_eq!(Reg8::from_code(5), Some(Reg8::L));
+        assert_eq!(Reg8::from_code(6), None);
+        assert_eq!(Reg8::from_code(7), Some(Reg8::A));
+    }
+
+    #[test]
+    fn flag_set_clear() {
+        let mut r = Registers::new();
+        r.set_flag(Flags::Z, true);
+        assert!(r.flag(Flags::Z));
+        r.set_flag(Flags::Z, false);
+        assert!(!r.flag(Flags::Z));
+    }
+
+    #[test]
+    fn exx_swaps_banks() {
+        let mut r = Registers::new();
+        r.set16(Reg16::Hl, 0xBEEF);
+        r.swap_main();
+        assert_eq!(r.hl(), 0);
+        r.swap_main();
+        assert_eq!(r.hl(), 0xBEEF);
+    }
+}

@@ -1,0 +1,316 @@
+//! Executable-behaviour tests: assemble small programs, run them on the
+//! CPU, and check architectural state afterwards.
+
+use rabbit::{assemble, Cpu, Flags, Memory, NullIo};
+
+/// Assembles `body` at 0x4000 with SP in SRAM-backed root space, runs to
+/// halt, and returns the CPU.
+fn run(body: &str) -> (Cpu, Memory) {
+    let src = format!("        org 0x4000\n{body}\n        halt\n");
+    let image = assemble(&src).unwrap_or_else(|e| panic!("assembly failed: {e}\n{src}"));
+    let mut mem = Memory::new();
+    image.load_into(&mut mem);
+    let mut cpu = Cpu::new();
+    // Map the data segment into SRAM so stores work: root code stays in
+    // flash, everything from 0x8000 up goes to physical 0x80000+.
+    cpu.mmu.segsize = 0xD8; // data segment at 0x8000, stack segment at 0xD000
+    cpu.mmu.dataseg = 0x78; // 0x8000 + 0x78000 = 0x80000 (SRAM base)
+    cpu.mmu.stackseg = 0x78; // 0xD000 + 0x78000 = 0x85000
+    cpu.regs.sp = 0xDFF0;
+    cpu.regs.pc = 0x4000;
+    cpu.run(&mut mem, &mut NullIo, 10_000_000)
+        .expect("no faults");
+    assert!(cpu.halted, "program did not halt");
+    (cpu, mem)
+}
+
+#[test]
+fn loads_and_moves() {
+    let (cpu, _) = run("ld a, 0x12\n ld b, a\n ld c, 0x34\n ld d, c");
+    assert_eq!(cpu.regs.a, 0x12);
+    assert_eq!(cpu.regs.b, 0x12);
+    assert_eq!(cpu.regs.d, 0x34);
+}
+
+#[test]
+fn sixteen_bit_loads() {
+    let (cpu, _) = run("ld hl, 0xBEEF\n ld sp, hl\n ld de, 0x1234");
+    assert_eq!(cpu.regs.sp, 0xBEEF);
+    assert_eq!(cpu.regs.de(), 0x1234);
+}
+
+#[test]
+fn memory_round_trip_through_data_segment() {
+    let (cpu, _) = run("ld hl, 0x9000\n ld (hl), 0x5A\n ld a, (hl)\n ld b, a\n \
+         ld hl, 0x9001\n ld a, 0x77\n ld (hl), a\n ld c, (hl)");
+    assert_eq!(cpu.regs.b, 0x5A);
+    assert_eq!(cpu.regs.c, 0x77);
+}
+
+#[test]
+fn direct_addressing() {
+    let (cpu, _) = run("ld a, 0x42\n ld (0x9100), a\n ld a, 0\n ld a, (0x9100)");
+    assert_eq!(cpu.regs.a, 0x42);
+}
+
+#[test]
+fn arithmetic_flags() {
+    let (cpu, _) = run("ld a, 0xFF\n add a, 1");
+    assert_eq!(cpu.regs.a, 0);
+    assert!(cpu.regs.flag(Flags::Z));
+    assert!(cpu.regs.flag(Flags::C));
+
+    let (cpu, _) = run("ld a, 0x7F\n add a, 1");
+    assert_eq!(cpu.regs.a, 0x80);
+    assert!(cpu.regs.flag(Flags::PV), "signed overflow sets V");
+    assert!(cpu.regs.flag(Flags::S));
+}
+
+#[test]
+fn subtraction_and_compare() {
+    let (cpu, _) = run("ld a, 5\n sub 7");
+    assert_eq!(cpu.regs.a, 0xFE);
+    assert!(cpu.regs.flag(Flags::C), "borrow sets carry");
+
+    let (cpu, _) = run("ld a, 9\n cp 9");
+    assert_eq!(cpu.regs.a, 9, "cp does not store");
+    assert!(cpu.regs.flag(Flags::Z));
+}
+
+#[test]
+fn adc_and_sbc_chain() {
+    // 16-bit add via 8-bit adc: 0x00FF + 0x0101 = 0x0200
+    let (cpu, _) = run("ld a, 0xFF\n add a, 0x01\n ld l, a\n ld a, 0x00\n adc a, 0x01\n ld h, a");
+    assert_eq!(cpu.regs.hl(), 0x0200);
+}
+
+#[test]
+fn logic_ops() {
+    let (cpu, _) = run("ld a, 0xF0\n and 0x3C");
+    assert_eq!(cpu.regs.a, 0x30);
+    let (cpu, _) = run("ld a, 0xF0\n xor 0xFF");
+    assert_eq!(cpu.regs.a, 0x0F);
+    let (cpu, _) = run("ld a, 0xF0\n or 0x0F");
+    assert_eq!(cpu.regs.a, 0xFF);
+    assert!(cpu.regs.flag(Flags::S));
+    assert!(!cpu.regs.flag(Flags::C));
+}
+
+#[test]
+fn inc_dec_edge_flags() {
+    let (cpu, _) = run("ld b, 0xFF\n inc b");
+    assert_eq!(cpu.regs.b, 0);
+    assert!(cpu.regs.flag(Flags::Z));
+
+    let (cpu, _) = run("ld b, 0x80\n dec b");
+    assert_eq!(cpu.regs.b, 0x7F);
+    assert!(cpu.regs.flag(Flags::PV), "0x80 -> 0x7F overflows");
+}
+
+#[test]
+fn djnz_loops_exactly_b_times() {
+    let (cpu, _) = run("ld b, 10\n ld a, 0\nloop: inc a\n djnz loop");
+    assert_eq!(cpu.regs.a, 10);
+    assert_eq!(cpu.regs.b, 0);
+}
+
+#[test]
+fn conditional_jumps() {
+    let (cpu, _) = run("ld a, 1\n cp 1\n jp z, yes\n ld b, 0xBB\n jp done\nyes: ld b, 0xAA\ndone:");
+    assert_eq!(cpu.regs.b, 0xAA);
+}
+
+#[test]
+fn relative_jumps() {
+    let (cpu, _) = run("ld a, 0\n jr skip\n ld a, 0xFF\nskip: ld b, 7");
+    assert_eq!(cpu.regs.a, 0);
+    assert_eq!(cpu.regs.b, 7);
+}
+
+#[test]
+fn call_and_return() {
+    let (cpu, _) = run("call sub\n ld b, 2\n jp end\nsub: ld a, 1\n ret\nend:");
+    assert_eq!(cpu.regs.a, 1);
+    assert_eq!(cpu.regs.b, 2);
+}
+
+#[test]
+fn push_pop_round_trip() {
+    let (cpu, _) = run("ld hl, 0xCAFE\n push hl\n ld hl, 0\n pop de");
+    assert_eq!(cpu.regs.de(), 0xCAFE);
+}
+
+#[test]
+fn stack_relative_loads() {
+    // Rabbit `ld hl,(sp+n)` addresses the stack without popping.
+    let (cpu, _) = run("ld hl, 0x1234\n push hl\n ld hl, 0\n ld hl, (sp+0)\n pop bc");
+    assert_eq!(cpu.regs.hl(), 0x1234);
+    assert_eq!(cpu.regs.bc(), 0x1234);
+}
+
+#[test]
+fn rotates_and_shifts() {
+    let (cpu, _) = run("ld a, 0x81\n rlca");
+    assert_eq!(cpu.regs.a, 0x03);
+    assert!(cpu.regs.flag(Flags::C));
+
+    let (cpu, _) = run("ld b, 0x01\n srl b");
+    assert_eq!(cpu.regs.b, 0);
+    assert!(cpu.regs.flag(Flags::C));
+    assert!(cpu.regs.flag(Flags::Z));
+
+    let (cpu, _) = run("ld c, 0x80\n sra c");
+    assert_eq!(cpu.regs.c, 0xC0, "sra keeps the sign bit");
+}
+
+#[test]
+fn bit_set_res() {
+    let (cpu, _) = run("ld a, 0\n set 3, a\n set 0, a");
+    assert_eq!(cpu.regs.a, 0b0000_1001);
+    let (cpu, _) = run("ld a, 0xFF\n res 7, a");
+    assert_eq!(cpu.regs.a, 0x7F);
+    let (cpu, _) =
+        run("ld a, 0x08\n bit 3, a\n jp nz, taken\n ld b, 0\n jp over\ntaken: ld b, 1\nover:");
+    assert_eq!(cpu.regs.b, 1);
+}
+
+#[test]
+fn sixteen_bit_arithmetic() {
+    let (cpu, _) = run("ld hl, 0x1234\n ld de, 0x0DCB\n add hl, de");
+    assert_eq!(cpu.regs.hl(), 0x1FFF);
+
+    let (cpu, _) = run("ld hl, 0xFFFF\n ld bc, 1\n add hl, bc");
+    assert_eq!(cpu.regs.hl(), 0);
+    assert!(cpu.regs.flag(Flags::C));
+
+    let (cpu, _) = run("scf\n ccf\n ld hl, 0x2000\n ld de, 0x2000\n sbc hl, de");
+    assert_eq!(cpu.regs.hl(), 0);
+    assert!(cpu.regs.flag(Flags::Z));
+}
+
+#[test]
+fn rabbit_mul_is_signed_16x16() {
+    let (cpu, _) = run("ld bc, 300\n ld de, 700\n mul");
+    let prod = (u32::from(cpu.regs.hl()) << 16) | u32::from(cpu.regs.bc());
+    assert_eq!(prod, 210_000);
+
+    // -2 * 3 = -6
+    let (cpu, _) = run("ld bc, 0xFFFE\n ld de, 3\n mul");
+    let prod = (u32::from(cpu.regs.hl()) << 16) | u32::from(cpu.regs.bc());
+    assert_eq!(prod as i32, -6);
+}
+
+#[test]
+fn rabbit_bool_and_16bit_logic() {
+    let (cpu, _) = run("ld hl, 0x8000\n bool hl");
+    assert_eq!(cpu.regs.hl(), 1);
+    let (cpu, _) = run("ld hl, 0\n bool hl");
+    assert_eq!(cpu.regs.hl(), 0);
+    let (cpu, _) = run("ld hl, 0xF0F0\n ld de, 0x3FF0\n and hl, de");
+    assert_eq!(cpu.regs.hl(), 0x30F0);
+    let (cpu, _) = run("ld hl, 0xF000\n ld de, 0x000F\n or hl, de");
+    assert_eq!(cpu.regs.hl(), 0xF00F);
+}
+
+#[test]
+fn exchanges() {
+    let (cpu, _) = run("ld hl, 0x1111\n ld de, 0x2222\n ex de, hl");
+    assert_eq!(cpu.regs.hl(), 0x2222);
+    assert_eq!(cpu.regs.de(), 0x1111);
+
+    let (cpu, _) = run("ld hl, 0xAAAA\n exx\n ld hl, 0xBBBB\n exx");
+    assert_eq!(cpu.regs.hl(), 0xAAAA);
+}
+
+#[test]
+fn index_registers() {
+    let (cpu, _) = run(
+        "ld ix, 0x9000\n ld a, 0x11\n ld (ix+2), a\n ld b, (ix+2)\n \
+         ld (ix+3), 0x22\n ld c, (ix+3)\n inc (ix+2)\n ld d, (ix+2)",
+    );
+    assert_eq!(cpu.regs.b, 0x11);
+    assert_eq!(cpu.regs.c, 0x22);
+    assert_eq!(cpu.regs.d, 0x12);
+}
+
+#[test]
+fn block_copy_ldir() {
+    let (cpu, mem) = run(
+        "ld hl, src\n ld de, 0x9000\n ld bc, 4\n ldir\n ld a, (0x9003)\n jp end\n\
+         src: db 0x10, 0x20, 0x30, 0x40\nend:",
+    );
+    assert_eq!(cpu.regs.a, 0x40);
+    assert_eq!(cpu.regs.bc(), 0);
+    // destination bytes all copied (data segment maps 0x9000 -> 0x81000)
+    assert_eq!(mem.read_phys(0x81000), 0x10);
+    assert_eq!(mem.read_phys(0x81002), 0x30);
+}
+
+#[test]
+fn tables_in_flash_are_readable() {
+    let (cpu, _) = run(
+        "ld hl, table\n ld b, 0\n ld c, 3\n add hl, bc\n ld a, (hl)\n jp end\n\
+         table: db 9, 8, 7, 6, 5\nend:",
+    );
+    assert_eq!(cpu.regs.a, 6);
+}
+
+#[test]
+fn add_sp_displacement() {
+    let (cpu, _) = run("ld hl, 0\n add sp, -4\n add sp, 4");
+    assert_eq!(cpu.regs.sp, 0xDFF0);
+}
+
+#[test]
+fn xpc_window_reaches_extended_memory() {
+    // phys = logical + XPC*0x1000, so XPC = 0x72 puts logical 0xE000 at
+    // physical 0x80000, the base of SRAM.
+    let (cpu, mem) = run("ld a, 0x72\n ld xpc, a\n ld hl, 0xE010\n ld (hl), 0x99\n ld a, (hl)");
+    assert_eq!(cpu.regs.a, 0x99);
+    assert_eq!(mem.read_phys(0x80010), 0x99);
+    assert_eq!(cpu.regs.xpc, 0x72);
+}
+
+#[test]
+fn cycles_accumulate_and_asm_is_faster_shape() {
+    // A trivial sanity check of the cycle counter: a djnz loop of 100
+    // iterations costs 100 * (inc + djnz) + setup.
+    let (cpu, _) = run("ld b, 100\nlp: inc a\n djnz lp");
+    // 2 (ld b) + 100*(2+5) + 2 (halt) -- allow the halt not yet counted
+    assert!(cpu.cycles >= 700, "cycles = {}", cpu.cycles);
+    assert!(cpu.cycles <= 720, "cycles = {}", cpu.cycles);
+}
+
+#[test]
+fn invalid_opcode_faults() {
+    let mut mem = Memory::new();
+    mem.load(0x4000, &[0xC7]); // rst 0x00 is not a Rabbit restart
+    let mut cpu = Cpu::new();
+    cpu.regs.pc = 0x4000;
+    let err = cpu.step(&mut mem, &mut NullIo).unwrap_err();
+    assert_eq!(
+        err,
+        rabbit::Fault::InvalidOpcode {
+            pc: 0x4000,
+            opcode: 0xC7
+        }
+    );
+}
+
+#[test]
+fn rst_pushes_and_vectors() {
+    // Install a tiny handler at 0x28 that sets b and returns.
+    let src = "org 0x28\n ld b, 0x99\n ret\n org 0x4000\n rst 0x28\n halt";
+    let image = assemble(src).unwrap();
+    let mut mem = Memory::new();
+    image.load_into(&mut mem);
+    let mut cpu = Cpu::new();
+    cpu.mmu.segsize = 0xD8;
+    cpu.mmu.dataseg = 0x78;
+    cpu.mmu.stackseg = 0x78;
+    cpu.regs.sp = 0xDFF0;
+    cpu.regs.pc = 0x4000;
+    cpu.run(&mut mem, &mut NullIo, 10_000).unwrap();
+    assert!(cpu.halted);
+    assert_eq!(cpu.regs.b, 0x99);
+}

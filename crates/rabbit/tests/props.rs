@@ -1,0 +1,107 @@
+//! Property-based tests: the interpreter's ALU against a Rust reference,
+//! and assembler/disassembler agreement on instruction lengths.
+
+use proptest::prelude::*;
+use rabbit::{assemble, disassemble, Cpu, Flags, Memory, NullIo};
+
+fn run_alu(a: u8, b: u8, op: &str) -> (u8, bool, bool) {
+    let src = format!("        org 0x4000\n ld a, {a}\n {op} {b}\n halt\n");
+    let image = assemble(&src).expect("assembles");
+    let mut mem = Memory::new();
+    image.load_into(&mut mem);
+    let mut cpu = Cpu::new();
+    cpu.mmu.stackseg = 0x78;
+    cpu.regs.pc = 0x4000;
+    cpu.run(&mut mem, &mut NullIo, 10_000).expect("runs");
+    (cpu.regs.a, cpu.regs.flag(Flags::C), cpu.regs.flag(Flags::Z))
+}
+
+proptest! {
+    #[test]
+    fn add_matches_reference(a: u8, b: u8) {
+        let (res, carry, zero) = run_alu(a, b, "add a,");
+        let (expect, overflow) = a.overflowing_add(b);
+        prop_assert_eq!(res, expect);
+        prop_assert_eq!(carry, overflow);
+        prop_assert_eq!(zero, expect == 0);
+    }
+
+    #[test]
+    fn sub_matches_reference(a: u8, b: u8) {
+        let (res, carry, zero) = run_alu(a, b, "sub");
+        let (expect, borrow) = a.overflowing_sub(b);
+        prop_assert_eq!(res, expect);
+        prop_assert_eq!(carry, borrow);
+        prop_assert_eq!(zero, expect == 0);
+    }
+
+    #[test]
+    fn xor_and_or_match_reference(a: u8, b: u8) {
+        let (res, carry, _) = run_alu(a, b, "xor");
+        prop_assert_eq!(res, a ^ b);
+        prop_assert!(!carry);
+        let (res, _, _) = run_alu(a, b, "and");
+        prop_assert_eq!(res, a & b);
+        let (res, _, _) = run_alu(a, b, "or");
+        prop_assert_eq!(res, a | b);
+    }
+
+    #[test]
+    fn mul_matches_reference(bc: i16, de: i16) {
+        let src = format!(
+            "        org 0x4000\n ld bc, {}\n ld de, {}\n mul\n halt\n",
+            bc as u16, de as u16
+        );
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.regs.pc = 0x4000;
+        cpu.run(&mut mem, &mut NullIo, 10_000).expect("runs");
+        let prod = (i32::from(cpu.regs.hl() as i16) << 16)
+            | i32::from(cpu.regs.bc());
+        prop_assert_eq!(prod, i32::from(bc) * i32::from(de));
+    }
+
+    #[test]
+    fn shifts_match_reference(v: u8) {
+        let src = format!("        org 0x4000\n ld b, {v}\n srl b\n halt\n");
+        let image = assemble(&src).expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        cpu.regs.pc = 0x4000;
+        cpu.run(&mut mem, &mut NullIo, 10_000).expect("runs");
+        prop_assert_eq!(cpu.regs.b, v >> 1);
+        prop_assert_eq!(cpu.regs.flag(Flags::C), v & 1 != 0);
+    }
+
+    #[test]
+    fn disassembler_length_matches_assembler(
+        // pick among a grab-bag of instruction templates
+        which in 0usize..12,
+        n: u8,
+        nn: u16,
+    ) {
+        let text = match which {
+            0 => format!("ld a, {n}"),
+            1 => format!("ld hl, {nn}"),
+            2 => format!("ld b, (ix+{})", n & 0x7F),
+            3 => "add hl, de".to_string(),
+            4 => format!("and {n}"),
+            5 => format!("call {}", 0x4000 + u32::from(nn) % 0x1000),
+            6 => "ldir".to_string(),
+            7 => "mul".to_string(),
+            8 => format!("bit {}, c", n & 7),
+            9 => format!("ld ({}), a", 0x8000 + u32::from(nn) % 0x1000),
+            10 => "push bc".to_string(),
+            _ => "bool hl".to_string(),
+        };
+        let image = assemble(&format!("        org 0x4000\n        {text}\n"))
+            .expect("assembles");
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let d = disassemble(&mem, 0x4000);
+        prop_assert_eq!(usize::from(d.len), image.size(), "{}", text);
+    }
+}

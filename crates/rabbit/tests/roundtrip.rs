@@ -1,0 +1,240 @@
+//! Assembler ↔ disassembler agreement: for every instruction form the
+//! toolchain supports, `assemble(disassemble(assemble(x)))` must produce
+//! the same bytes as `assemble(x)`.
+
+use rabbit::{assemble, disassemble, Memory};
+
+/// Every supported instruction form, one per line.
+fn corpus() -> Vec<&'static str> {
+    vec![
+        // ---- 8-bit loads ----
+        "ld a, 0x12",
+        "ld b, 0xFF",
+        "ld c, d",
+        "ld h, l",
+        "ld a, (hl)",
+        "ld (hl), e",
+        "ld (hl), 0x7F",
+        "ld a, (bc)",
+        "ld a, (de)",
+        "ld (bc), a",
+        "ld (de), a",
+        "ld a, (0x8123)",
+        "ld (0x8123), a",
+        "ld b, (ix+4)",
+        "ld l, (iy-3)",
+        "ld (ix+7), c",
+        "ld (iy-8), a",
+        "ld (ix+2), 0x55",
+        // ---- 16-bit loads ----
+        "ld bc, 0x1234",
+        "ld de, 0xFFFF",
+        "ld hl, 0x8000",
+        "ld sp, 0xDFF0",
+        "ld ix, 0x4000",
+        "ld iy, 0x9000",
+        "ld hl, (0x8100)",
+        "ld (0x8100), hl",
+        "ld bc, (0x8200)",
+        "ld (0x8200), de",
+        "ld sp, (0x8300)",
+        "ld (0x8300), sp",
+        "ld ix, (0x8400)",
+        "ld (0x8400), iy",
+        "ld sp, hl",
+        "ld sp, ix",
+        "ld hl, (sp+4)",
+        "ld (sp+6), hl",
+        // ---- exchanges ----
+        "ex de, hl",
+        "ex af, af'",
+        "exx",
+        "ex (sp), hl",
+        "ex (sp), ix",
+        // ---- 8-bit ALU ----
+        "add a, b",
+        "add a, 0x10",
+        "add a, (hl)",
+        "add a, (ix+1)",
+        "adc a, c",
+        "adc a, 0x01",
+        "sub d",
+        "sub 0x20",
+        "sub (hl)",
+        "sbc a, e",
+        "sbc a, 0x02",
+        "and h",
+        "and 0x0F",
+        "and (hl)",
+        "xor l",
+        "xor 0xFF",
+        "or a",
+        "or 0x80",
+        "or (iy+3)",
+        "cp b",
+        "cp 0x99",
+        "cp (hl)",
+        "inc a",
+        "inc (hl)",
+        "inc (ix+5)",
+        "dec c",
+        "dec (hl)",
+        "dec (iy-1)",
+        "cpl",
+        "neg",
+        // ---- 16-bit arithmetic ----
+        "add hl, bc",
+        "add hl, de",
+        "add hl, hl",
+        "add hl, sp",
+        "add ix, bc",
+        "add ix, ix",
+        "add iy, sp",
+        "adc hl, de",
+        "sbc hl, bc",
+        "inc bc",
+        "inc hl",
+        "inc ix",
+        "dec de",
+        "dec sp",
+        "dec iy",
+        "add sp, 16",
+        "add sp, -4",
+        // ---- Rabbit specials ----
+        "mul",
+        "bool hl",
+        "and hl, de",
+        "or hl, de",
+        "rr hl",
+        "rl de",
+        "rr de",
+        "ld xpc, a",
+        "ld a, xpc",
+        "ipset 0",
+        "ipset 1",
+        "ipset 2",
+        "ipset 3",
+        "ipres",
+        // ---- rotates / shifts / bits ----
+        "rlca",
+        "rrca",
+        "rla",
+        "rra",
+        "rlc b",
+        "rrc c",
+        "rl d",
+        "rr e",
+        "sla h",
+        "sra l",
+        "srl a",
+        "rlc (hl)",
+        "srl (hl)",
+        "bit 0, a",
+        "bit 7, (hl)",
+        "set 3, c",
+        "set 5, (hl)",
+        "res 1, d",
+        "res 6, (hl)",
+        // ---- stack ----
+        "push bc",
+        "push de",
+        "push hl",
+        "push af",
+        "push ix",
+        "push iy",
+        "pop bc",
+        "pop af",
+        "pop ix",
+        // ---- control flow ----
+        "jp 0x4100",
+        "jp nz, 0x4100",
+        "jp z, 0x4100",
+        "jp nc, 0x4100",
+        "jp c, 0x4100",
+        "jp po, 0x4100",
+        "jp pe, 0x4100",
+        "jp p, 0x4100",
+        "jp m, 0x4100",
+        "jp (hl)",
+        "jp (ix)",
+        "jp (iy)",
+        "jr $+10",
+        "jr nz, $+10",
+        "jr z, $-4",
+        "jr nc, $+2",
+        "jr c, $+2",
+        "djnz $-6",
+        "call 0x4200",
+        "ret",
+        "ret nz",
+        "ret z",
+        "ret c",
+        "ret m",
+        "reti",
+        "rst 0x10",
+        "rst 0x18",
+        "rst 0x20",
+        "rst 0x28",
+        "rst 0x38",
+        // ---- block / misc ----
+        "ldi",
+        "ldir",
+        "ldd",
+        "lddr",
+        "nop",
+        "halt",
+        // ---- I/O prefixes ----
+        "ioi ld a, (0x00C0)",
+        "ioi ld (0x00C4), a",
+        "ioe ld a, (0x1234)",
+        "ioi ld (hl), b",
+    ]
+}
+
+fn assemble_one(insn: &str) -> Vec<u8> {
+    let src = format!("        org 0x4000\n        {insn}\n");
+    let image = assemble(&src).unwrap_or_else(|e| panic!("`{insn}` does not assemble: {e}"));
+    assert_eq!(image.sections.len(), 1, "`{insn}`");
+    image.sections[0].bytes.clone()
+}
+
+#[test]
+fn every_instruction_round_trips_through_the_disassembler() {
+    for insn in corpus() {
+        let bytes = assemble_one(insn);
+        let mut mem = Memory::new();
+        mem.load(0x4000, &bytes);
+        let d = disassemble(&mem, 0x4000);
+        assert_eq!(
+            usize::from(d.len),
+            bytes.len(),
+            "`{insn}` disassembled length ({}) != assembled length ({}) [text: {}]",
+            d.len,
+            bytes.len(),
+            d.text
+        );
+        assert!(
+            !d.text.contains('?'),
+            "`{insn}` disassembles to unknown form `{}`",
+            d.text
+        );
+        // Re-assemble the disassembler's own text: must give the same
+        // bytes.
+        let round = assemble_one(&d.text);
+        assert_eq!(round, bytes, "`{insn}` -> `{}` changed encoding", d.text);
+    }
+}
+
+#[test]
+fn corpus_covers_distinct_encodings() {
+    // Guard against accidental duplicates in the corpus silently shrinking
+    // coverage.
+    let mut seen = std::collections::HashSet::new();
+    for insn in corpus() {
+        let bytes = assemble_one(insn);
+        assert!(
+            seen.insert(bytes.clone()),
+            "`{insn}` encodes identically to an earlier corpus entry"
+        );
+    }
+}

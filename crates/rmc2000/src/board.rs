@@ -1,0 +1,205 @@
+//! The assembled board: a Rabbit 2000 CPU, 512 KiB flash + 128 KiB SRAM,
+//! serial port A with interrupts, a free-running real-time clock, and the
+//! `defineErrorHandler` dispatch of the paper's §4.1.
+
+use dynamicc::{Disposition, ErrorHandler, ErrorInfo, ErrorKind};
+use rabbit::io::ports;
+use rabbit::{Cpu, Fault, Image, Interrupt, IoSpace, Memory};
+
+use crate::serial::SerialPort;
+
+/// The I/O complex of the board.
+#[derive(Debug, Default)]
+pub struct BoardIo {
+    /// Serial port A.
+    pub serial: SerialPort,
+    /// Free-running clock (CPU cycles), latched into the RTC registers.
+    pub rtc_cycles: u64,
+    rtc_latch: u64,
+    /// Raw writes to otherwise unmodelled ports (visible for tests).
+    pub port_writes: Vec<(u16, u8)>,
+}
+
+impl IoSpace for BoardIo {
+    fn io_read(&mut self, port: u16, _external: bool) -> u8 {
+        if let Some(v) = self.serial.read(port) {
+            return v;
+        }
+        match port {
+            // RTC: reading RTC0 latches the count; RTC0..RTC5 expose it.
+            ports::RTC0 => {
+                self.rtc_latch = self.rtc_cycles;
+                self.rtc_latch as u8
+            }
+            p if (ports::RTC0..ports::RTC0 + 6).contains(&p) => {
+                (self.rtc_latch >> (8 * (p - ports::RTC0))) as u8
+            }
+            _ => 0xFF,
+        }
+    }
+
+    fn io_write(&mut self, port: u16, value: u8, _external: bool) {
+        if self.serial.write(port, value) {
+            return;
+        }
+        self.port_writes.push((port, value));
+    }
+
+    fn pending_interrupt(&mut self) -> Option<Interrupt> {
+        self.serial.pending()
+    }
+
+    fn acknowledge_interrupt(&mut self, _vector: u16) {
+        self.serial.acknowledge();
+    }
+
+    fn tick(&mut self, cycles: u64) {
+        self.rtc_cycles += cycles;
+    }
+}
+
+/// Outcome of running firmware for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// CPU reached `halt` with no interrupt pending.
+    Halted,
+    /// The cycle budget was used up.
+    BudgetExhausted,
+    /// A fault was raised and the error handler said stop.
+    HandlerHalt,
+    /// A fault was raised and the error handler asked for a reset.
+    HandlerReset,
+}
+
+/// The RMC2000 board.
+pub struct Board {
+    /// The CPU.
+    pub cpu: Cpu,
+    /// Flash + SRAM.
+    pub mem: Memory,
+    /// Peripherals.
+    pub io: BoardIo,
+    /// The registered error handler (`defineErrorHandler`).
+    pub errors: ErrorHandler,
+    /// Number of resets performed by the error handler.
+    pub resets: u64,
+}
+
+impl Board {
+    /// A powered-up board with the standard firmware memory map (data
+    /// segment at 0x8000 → SRAM, stack segment backed by SRAM).
+    pub fn new() -> Board {
+        let mut cpu = Cpu::new();
+        cpu.mmu.segsize = 0xD8;
+        cpu.mmu.dataseg = 0x78;
+        cpu.mmu.stackseg = 0x78;
+        cpu.regs.sp = 0xDFF0;
+        Board {
+            cpu,
+            mem: Memory::new(),
+            io: BoardIo::default(),
+            errors: ErrorHandler::new(),
+            resets: 0,
+        }
+    }
+
+    /// Loads an assembled image through the programming port, honouring
+    /// the firmware memory map (root code below 0x8000 goes to flash,
+    /// data at 0x8000+ to SRAM, xmem-window sections to their page).
+    pub fn load(&mut self, image: &Image) {
+        for s in &image.sections {
+            self.mem.load(crate::load_phys(s.addr), &s.bytes);
+        }
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u16) {
+        self.cpu.regs.pc = pc;
+        self.cpu.halted = false;
+    }
+
+    /// Executes one instruction, routing faults through the registered
+    /// error handler exactly as the hardware routes them through
+    /// `defineErrorHandler`.
+    pub fn step(&mut self) -> Option<RunOutcome> {
+        match self.cpu.step(&mut self.mem, &mut self.io) {
+            Ok(_) => None,
+            Err(Fault::InvalidOpcode { pc, opcode }) => {
+                let info = ErrorInfo {
+                    kind: ErrorKind::InvalidOpcode,
+                    address: pc,
+                    aux: u16::from(opcode),
+                };
+                match self.errors.raise(info) {
+                    Disposition::Ignore => None, // skip and continue, as the paper's port did
+                    Disposition::Halt => Some(RunOutcome::HandlerHalt),
+                    Disposition::Reset => {
+                        self.reset();
+                        Some(RunOutcome::HandlerReset)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Soft reset: PC to 0, registers cleared, memory and peripherals
+    /// retained (battery-backed `protected` state survives by design).
+    pub fn reset(&mut self) {
+        let mmu = self.cpu.mmu;
+        self.cpu = Cpu::new();
+        self.cpu.mmu = mmu;
+        self.cpu.regs.sp = 0xDFF0;
+        self.resets += 1;
+    }
+
+    /// Runs until halt, fault-handler stop, or the cycle budget runs out.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        let start = self.cpu.cycles;
+        loop {
+            if self.cpu.halted && self.io.pending_interrupt().is_none() {
+                return RunOutcome::Halted;
+            }
+            if self.cpu.cycles - start >= max_cycles {
+                return RunOutcome::BudgetExhausted;
+            }
+            if let Some(outcome) = self.step() {
+                if outcome != RunOutcome::HandlerReset {
+                    return outcome;
+                }
+            }
+        }
+    }
+
+    /// Runs until the predicate on the board holds (checked between
+    /// instructions) or the budget expires. Returns whether it held.
+    pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Board) -> bool) -> bool {
+        let start = self.cpu.cycles;
+        while self.cpu.cycles - start < max_cycles {
+            if pred(self) {
+                return true;
+            }
+            if let Some(outcome) = self.step() {
+                if outcome != RunOutcome::HandlerReset {
+                    return pred(self);
+                }
+            }
+        }
+        pred(self)
+    }
+}
+
+impl Default for Board {
+    fn default() -> Board {
+        Board::new()
+    }
+}
+
+impl std::fmt::Debug for Board {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Board")
+            .field("cpu", &self.cpu.regs)
+            .field("cycles", &self.cpu.cycles)
+            .field("resets", &self.resets)
+            .finish()
+    }
+}

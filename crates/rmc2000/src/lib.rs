@@ -1,0 +1,45 @@
+//! A model of the **RMC2000 TCP/IP Development Kit**: the Rabbit 2000 CPU
+//! with 512 KiB flash and 128 KiB SRAM, serial port A wired for
+//! receive interrupts (the paper's §5.1 debugging channel), a free-running
+//! real-time clock, and `defineErrorHandler`-style fault dispatch.
+//!
+//! The kit's TCP/IP stack is modelled at the API level by
+//! `sockets::dynic` (see DESIGN.md): firmware-visible networking runs
+//! there, while this crate provides the *instruction-level* substrate the
+//! paper's performance experiments need.
+//!
+//! ```
+//! use rmc2000::{Board, RunOutcome};
+//! use rabbit::assemble;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble("        org 0x4000\n        ld a, 0x42\n        halt\n")?;
+//! let mut board = Board::new();
+//! board.load(&image);
+//! board.set_pc(0x4000);
+//! assert_eq!(board.run(10_000), RunOutcome::Halted);
+//! assert_eq!(board.cpu.regs.a, 0x42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod board;
+pub mod serial;
+
+pub use board::{Board, BoardIo, RunOutcome};
+pub use serial::{SerialPort, SERIAL_A_VECTOR};
+
+/// Maps a logical firmware address to the physical address the loader
+/// writes (shared convention with `dcc::harness`): root code below
+/// `0x8000` sits in flash at its own address, data at `0x8000..0xE000`
+/// lands in SRAM through the data-segment mapping, and xmem-window
+/// sections land on the page `XPC = 0x76` selects.
+pub fn load_phys(addr: u16) -> u32 {
+    if addr >= 0xE000 {
+        u32::from(addr) + 0x76 * 0x1000
+    } else if addr >= 0x8000 {
+        u32::from(addr) + 0x78000
+    } else {
+        u32::from(addr)
+    }
+}

@@ -1,0 +1,155 @@
+//! Serial port A of the RMC2000 — the debugging channel of the paper's
+//! §5.1: "We used the serial port on the RMC2000 board for debugging. We
+//! configured the serial interface to interrupt the processor when a
+//! character arrived."
+
+use std::collections::VecDeque;
+
+use rabbit::io::ports;
+use rabbit::Interrupt;
+
+/// Logical address of serial port A's interrupt service routine vector.
+pub const SERIAL_A_VECTOR: u16 = 0x00E0;
+
+/// The serial port peripheral.
+#[derive(Debug, Default)]
+pub struct SerialPort {
+    rx: VecDeque<u8>,
+    tx: Vec<u8>,
+    /// Receive interrupts enabled (`SACR` bit 0).
+    pub rx_interrupt_enabled: bool,
+    irq_pending: bool,
+    /// Characters dropped because the receive FIFO overflowed.
+    pub overruns: u64,
+}
+
+/// Depth of the receive FIFO.
+const RX_FIFO: usize = 64;
+
+impl SerialPort {
+    /// Creates an idle port.
+    pub fn new() -> SerialPort {
+        SerialPort::default()
+    }
+
+    /// Host side: injects a received character (as if it arrived on the
+    /// wire). Raises the interrupt when enabled.
+    pub fn inject(&mut self, byte: u8) {
+        if self.rx.len() >= RX_FIFO {
+            self.overruns += 1;
+            return;
+        }
+        self.rx.push_back(byte);
+        if self.rx_interrupt_enabled {
+            self.irq_pending = true;
+        }
+    }
+
+    /// Host side: everything the firmware transmitted so far.
+    pub fn transmitted(&self) -> &[u8] {
+        &self.tx
+    }
+
+    /// Host side: clears the transmit capture.
+    pub fn clear_transmitted(&mut self) {
+        self.tx.clear();
+    }
+
+    /// CPU side: reads a port register.
+    pub fn read(&mut self, port: u16) -> Option<u8> {
+        match port {
+            ports::SADR => {
+                let b = self.rx.pop_front().unwrap_or(0);
+                if self.rx.is_empty() {
+                    self.irq_pending = false;
+                }
+                Some(b)
+            }
+            ports::SASR => {
+                // bit 7: receive data ready; bit 2: transmit idle (always)
+                let mut st = 0x04;
+                if !self.rx.is_empty() {
+                    st |= 0x80;
+                }
+                Some(st)
+            }
+            ports::SACR => Some(u8::from(self.rx_interrupt_enabled)),
+            _ => None,
+        }
+    }
+
+    /// CPU side: writes a port register.
+    pub fn write(&mut self, port: u16, value: u8) -> bool {
+        match port {
+            ports::SADR => {
+                self.tx.push(value);
+                true
+            }
+            ports::SACR => {
+                self.rx_interrupt_enabled = value & 1 != 0;
+                if !self.rx_interrupt_enabled {
+                    self.irq_pending = false;
+                } else if !self.rx.is_empty() {
+                    self.irq_pending = true;
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pending interrupt request, if any.
+    pub fn pending(&self) -> Option<Interrupt> {
+        self.irq_pending.then_some(Interrupt {
+            priority: 1,
+            vector: SERIAL_A_VECTOR,
+        })
+    }
+
+    /// Acknowledge (the ISR will drain the data register).
+    pub fn acknowledge(&mut self) {
+        self.irq_pending = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inject_read_round_trip() {
+        let mut sp = SerialPort::new();
+        sp.inject(b'X');
+        assert_eq!(sp.read(ports::SASR).unwrap() & 0x80, 0x80);
+        assert_eq!(sp.read(ports::SADR).unwrap(), b'X');
+        assert_eq!(sp.read(ports::SASR).unwrap() & 0x80, 0);
+    }
+
+    #[test]
+    fn interrupt_only_when_enabled() {
+        let mut sp = SerialPort::new();
+        sp.inject(1);
+        assert!(sp.pending().is_none());
+        sp.write(ports::SACR, 1);
+        assert!(sp.pending().is_some(), "enable with data pending raises");
+        sp.read(ports::SADR);
+        assert!(sp.pending().is_none(), "draining clears");
+    }
+
+    #[test]
+    fn transmit_capture() {
+        let mut sp = SerialPort::new();
+        sp.write(ports::SADR, b'o');
+        sp.write(ports::SADR, b'k');
+        assert_eq!(sp.transmitted(), b"ok");
+    }
+
+    #[test]
+    fn fifo_overrun_counts() {
+        let mut sp = SerialPort::new();
+        for i in 0..100 {
+            sp.inject(i);
+        }
+        assert_eq!(sp.overruns, 100 - 64);
+    }
+}

@@ -1,0 +1,364 @@
+//! RSA over the [`bignum`] package: key generation, PKCS#1-v1.5-style
+//! encryption/decryption and signing, as the host-side issl uses for key
+//! exchange.
+//!
+//! The paper's RMC2000 port *dropped* this cipher ("the RSA algorithm
+//! uses a difficult-to-port bignum package … we only ported the AES
+//! cipher"); the host profile of the reproduced service keeps it, which
+//! is what makes the embedded profile's degenerate handshake an honest
+//! reproduction of the paper's trade-off.
+//!
+//! ```
+//! use rsa::KeyPair;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let keys = KeyPair::generate(256, &mut rng);
+//! let ct = keys.public().encrypt(b"premaster secret", &mut rng).unwrap();
+//! assert_eq!(keys.decrypt(&ct).unwrap(), b"premaster secret");
+//! ```
+
+use bignum::{is_probable_prime, BigUint};
+use rand::Rng;
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// Message too long for the modulus with padding.
+    MessageTooLong {
+        /// Bytes supplied.
+        got: usize,
+        /// Maximum payload for this key.
+        max: usize,
+    },
+    /// Ciphertext is not a valid PKCS#1 block for this key.
+    BadCiphertext,
+}
+
+impl std::fmt::Display for RsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsaError::MessageTooLong { got, max } => {
+                write!(f, "message of {got} bytes exceeds the {max}-byte limit")
+            }
+            RsaError::BadCiphertext => write!(f, "invalid ciphertext"),
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Debug, Clone)]
+pub struct KeyPair {
+    public: PublicKey,
+    d: BigUint,
+}
+
+/// Generates a random odd candidate of exactly `bits` bits.
+fn random_candidate<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill(&mut buf[..]);
+    // Force the top bit (exact size) and the bottom bit (odd).
+    let top_bit = (bits - 1) % 8;
+    buf[0] &= (1u16 << (top_bit + 1)).wrapping_sub(1) as u8;
+    buf[0] |= 1 << top_bit;
+    *buf.last_mut().expect("non-empty") |= 1;
+    BigUint::from_bytes_be(&buf)
+}
+
+/// Generates a random prime of exactly `bits` bits.
+///
+/// # Panics
+///
+/// Panics when `bits < 16`.
+pub fn generate_prime<R: Rng>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 16, "prime size too small to be meaningful");
+    loop {
+        let candidate = random_candidate(bits, rng);
+        if is_probable_prime(&candidate) {
+            return candidate;
+        }
+    }
+}
+
+impl PublicKey {
+    /// The modulus size in bytes.
+    pub fn modulus_len(&self) -> usize {
+        self.n.to_bytes_be().len()
+    }
+
+    /// Raw public exponentiation (`m^e mod n`).
+    pub fn raw(&self, m: &BigUint) -> BigUint {
+        m.modpow(&self.e, &self.n)
+    }
+
+    /// The modulus, big-endian.
+    pub fn n_bytes(&self) -> Vec<u8> {
+        self.n.to_bytes_be()
+    }
+
+    /// The public exponent, big-endian.
+    pub fn e_bytes(&self) -> Vec<u8> {
+        self.e.to_bytes_be()
+    }
+
+    /// Rebuilds a key from big-endian `n` and `e` (the wire format of the
+    /// issl server-hello).
+    pub fn from_bytes(n: &[u8], e: &[u8]) -> PublicKey {
+        PublicKey {
+            n: BigUint::from_bytes_be(n),
+            e: BigUint::from_bytes_be(e),
+        }
+    }
+
+    /// Maximum payload for PKCS#1-v1.5-style encryption.
+    pub fn max_payload(&self) -> usize {
+        self.modulus_len().saturating_sub(11)
+    }
+
+    /// Encrypts with type-2 (random nonzero) padding:
+    /// `00 02 <pad> 00 <msg>`.
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::MessageTooLong`] when `msg` exceeds
+    /// [`PublicKey::max_payload`].
+    pub fn encrypt<R: Rng>(&self, msg: &[u8], rng: &mut R) -> Result<Vec<u8>, RsaError> {
+        let k = self.modulus_len();
+        if msg.len() > self.max_payload() {
+            return Err(RsaError::MessageTooLong {
+                got: msg.len(),
+                max: self.max_payload(),
+            });
+        }
+        let mut block = Vec::with_capacity(k);
+        block.push(0x00);
+        block.push(0x02);
+        for _ in 0..k - 3 - msg.len() {
+            block.push(rng.gen_range(1..=255u8));
+        }
+        block.push(0x00);
+        block.extend_from_slice(msg);
+        let c = BigUint::from_bytes_be(&block).modpow(&self.e, &self.n);
+        Ok(c.to_bytes_be_padded(k))
+    }
+
+    /// Verifies a type-1 signature over `digest`, returning whether it
+    /// matches.
+    pub fn verify(&self, digest: &[u8], signature: &[u8]) -> bool {
+        let k = self.modulus_len();
+        if signature.len() != k {
+            return false;
+        }
+        let m = BigUint::from_bytes_be(signature).modpow(&self.e, &self.n);
+        let block = m.to_bytes_be_padded(k);
+        // 00 01 FF.. 00 digest
+        if block.len() < digest.len() + 11 || block[0] != 0x00 || block[1] != 0x01 {
+            return false;
+        }
+        let pad_end = block.len() - digest.len() - 1;
+        if block[2..pad_end].iter().any(|&b| b != 0xFF) || block[pad_end] != 0x00 {
+            return false;
+        }
+        &block[pad_end + 1..] == digest
+    }
+}
+
+impl KeyPair {
+    /// Generates a key pair with a modulus of `bits` bits and `e = 65537`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64` (too small to pad anything).
+    pub fn generate<R: Rng>(bits: usize, rng: &mut R) -> KeyPair {
+        assert!(bits >= 64, "modulus too small");
+        let e = BigUint::from_u64(65_537);
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            let Some(d) = e.modinv(&phi) else { continue };
+            return KeyPair {
+                public: PublicKey { n, e },
+                d,
+            };
+        }
+    }
+
+    /// Builds a key pair from known primes (for test vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `65537` is not invertible modulo `(p-1)(q-1)`.
+    pub fn from_primes(p: u64, q: u64) -> KeyPair {
+        let p = BigUint::from_u64(p);
+        let q = BigUint::from_u64(q);
+        let n = p.mul(&q);
+        let e = BigUint::from_u64(65_537);
+        let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+        let d = e.modinv(&phi).expect("65537 coprime to phi");
+        KeyPair {
+            public: PublicKey { n, e },
+            d,
+        }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Raw private exponentiation (`c^d mod n`).
+    pub fn raw(&self, c: &BigUint) -> BigUint {
+        c.modpow(&self.d, &self.public.n)
+    }
+
+    /// Decrypts a PKCS#1-v1.5-type-2 block.
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::BadCiphertext`] if the block structure is wrong.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.modulus_len();
+        if ciphertext.len() != k {
+            return Err(RsaError::BadCiphertext);
+        }
+        let m = BigUint::from_bytes_be(ciphertext).modpow(&self.d, &self.public.n);
+        let block = m.to_bytes_be_padded(k);
+        if block[0] != 0x00 || block[1] != 0x02 {
+            return Err(RsaError::BadCiphertext);
+        }
+        let sep = block[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(RsaError::BadCiphertext)?;
+        if sep < 8 {
+            return Err(RsaError::BadCiphertext); // pad too short
+        }
+        Ok(block[2 + sep + 1..].to_vec())
+    }
+
+    /// Signs a digest with type-1 padding.
+    ///
+    /// # Errors
+    ///
+    /// [`RsaError::MessageTooLong`] if the digest cannot fit.
+    pub fn sign(&self, digest: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let k = self.public.modulus_len();
+        if digest.len() + 11 > k {
+            return Err(RsaError::MessageTooLong {
+                got: digest.len(),
+                max: k - 11,
+            });
+        }
+        let mut block = Vec::with_capacity(k);
+        block.push(0x00);
+        block.push(0x01);
+        block.resize(k - digest.len() - 1, 0xFF);
+        block.push(0x00);
+        block.extend_from_slice(digest);
+        let s = BigUint::from_bytes_be(&block).modpow(&self.d, &self.public.n);
+        Ok(s.to_bytes_be_padded(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn textbook_vector_round_trips() {
+        // p=61, q=53 -> n=3233 (too small to pad, use raw)
+        let kp = KeyPair::from_primes(61, 53);
+        let m = BigUint::from_u64(65);
+        let c = kp.public().raw(&m);
+        assert_eq!(kp.raw(&c), m);
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(256, &mut rng);
+        let msg = b"sixteen byte key";
+        let ct = kp.public().encrypt(msg, &mut rng).unwrap();
+        assert_eq!(ct.len(), kp.public().modulus_len());
+        assert_eq!(kp.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn ciphertexts_are_randomised() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let kp = KeyPair::generate(256, &mut rng);
+        let a = kp.public().encrypt(b"m", &mut rng).unwrap();
+        let b = kp.public().encrypt(b"m", &mut rng).unwrap();
+        assert_ne!(a, b, "type-2 padding randomises");
+        assert_eq!(kp.decrypt(&a).unwrap(), b"m");
+        assert_eq!(kp.decrypt(&b).unwrap(), b"m");
+    }
+
+    #[test]
+    fn oversized_message_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = KeyPair::generate(128, &mut rng);
+        let too_big = vec![0u8; kp.public().max_payload() + 1];
+        assert!(matches!(
+            kp.public().encrypt(&too_big, &mut rng),
+            Err(RsaError::MessageTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = KeyPair::generate(256, &mut rng);
+        let mut ct = kp.public().encrypt(b"secret", &mut rng).unwrap();
+        ct[5] ^= 0xFF;
+        let out = kp.decrypt(&ct);
+        assert!(out.is_err() || out.unwrap() != b"secret");
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let kp = KeyPair::generate(256, &mut rng);
+        let digest = [0xAB; 20];
+        let sig = kp.sign(&digest).unwrap();
+        assert!(kp.public().verify(&digest, &sig));
+        let mut bad = sig.clone();
+        bad[0] ^= 1;
+        assert!(!kp.public().verify(&digest, &bad));
+        assert!(!kp.public().verify(&[0xCD; 20], &sig));
+    }
+
+    #[test]
+    fn public_key_round_trips_through_wire_format() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let kp = KeyPair::generate(256, &mut rng);
+        let pk = PublicKey::from_bytes(&kp.public().n_bytes(), &kp.public().e_bytes());
+        let ct = pk.encrypt(b"hello", &mut rng).unwrap();
+        assert_eq!(kp.decrypt(&ct).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn generated_primes_have_exact_size() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = generate_prime(96, &mut rng);
+        assert_eq!(p.bits(), 96);
+        assert!(p.is_odd());
+    }
+}

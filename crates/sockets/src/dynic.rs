@@ -1,0 +1,446 @@
+//! The Dynamic C TCP/IP API — the interface the RMC2000 kit provides
+//! instead of BSD sockets (the paper's Figure 2b): `sock_init`,
+//! `tcp_listen`, `tcp_tick`, `sock_wait_established`, `sock_mode`,
+//! `sock_gets` / `sock_puts`, `sock_read` / `sock_write`, `sock_close`.
+//!
+//! Key semantic differences from BSD that drove the paper's §5.3 rewrite,
+//! all reproduced here:
+//!
+//! * There is no `accept`: *"the socket bound to the port also handles the
+//!   request, so each connection is required to have a corresponding call
+//!   to `tcp_listen`"*. Several sockets may listen on the same port; an
+//!   incoming connection is handed to one of them.
+//! * Nothing happens unless `tcp_tick` runs — the application must drive
+//!   the stack from its main loop (Figure 3 dedicates a costatement to
+//!   `tcp_tick(NULL)`).
+//! * ASCII mode gives line-oriented `sock_gets`/`sock_puts`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use netsim::{Endpoint, HostId, Recv, SocketId, TcpState};
+
+use crate::net::Net;
+
+/// Virtual time consumed by one `tcp_tick` call, in microseconds.
+pub const TICK_US: u64 = 200;
+
+/// Socket transfer mode (`sock_mode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SockMode {
+    /// Byte-stream mode.
+    #[default]
+    Binary,
+    /// Line-oriented mode: `sock_puts` appends CRLF, `sock_gets` returns
+    /// complete lines.
+    Ascii,
+}
+
+/// Errors from the Dynamic C socket layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DcError {
+    /// Handle does not name a socket slot.
+    BadSocket,
+    /// Operation invalid in the slot's current state.
+    BadState,
+    /// The connection was reset or never established.
+    NotEstablished,
+    /// `sock_wait_established` ran out of ticks.
+    Timeout,
+}
+
+impl std::fmt::Display for DcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DcError::BadSocket => "bad socket",
+            DcError::BadState => "bad state",
+            DcError::NotEstablished => "not established",
+            DcError::Timeout => "timeout",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// A `tcp_Socket` handle (the C API passes `tcp_Socket*`; we hand out a
+/// small copyable index into the stack's table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpSock(usize);
+
+#[derive(Debug, Default)]
+enum SlotState {
+    #[default]
+    Fresh,
+    /// Waiting for an inbound connection on a port.
+    Listening(u16),
+    /// Bound to a live connection.
+    Connected(SocketId),
+    /// Closed by the application; reusable after `tcp_listen`/`tcp_open`.
+    Done,
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    state: SlotState,
+    mode: SockMode,
+}
+
+#[derive(Debug)]
+struct PortState {
+    listener: SocketId,
+    waiting: VecDeque<usize>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: Vec<Slot>,
+    ports: HashMap<u16, PortState>,
+    /// Per-slot reassembly buffers for ASCII-mode `sock_gets`.
+    line_bufs: HashMap<usize, Vec<u8>>,
+}
+
+/// The Dynamic C TCP/IP stack on one host, created by [`Stack::sock_init`].
+#[derive(Clone)]
+pub struct Stack {
+    net: Net,
+    host: HostId,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Stack {
+    /// `sock_init()`: brings up the stack on `host`.
+    pub fn sock_init(net: &Net, host: HostId) -> Stack {
+        Stack {
+            net: net.clone(),
+            host,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// The host this stack serves.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Declares a `tcp_Socket` (the C code declares a struct; we allocate
+    /// a slot).
+    pub fn tcp_socket(&self) -> TcpSock {
+        let mut inner = self.inner.lock().expect("stack lock");
+        inner.slots.push(Slot::default());
+        TcpSock(inner.slots.len() - 1)
+    }
+
+    /// `tcp_listen(&sock, port, …)`: registers the socket to take the next
+    /// inbound connection on `port`. Multiple sockets may listen on the
+    /// same port simultaneously — the Figure 3 server does exactly that
+    /// with three handler costatements.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::BadState`] if the slot is already busy.
+    pub fn tcp_listen(&self, sock: TcpSock, port: u16) -> Result<(), DcError> {
+        let mut inner = self.inner.lock().expect("stack lock");
+        let slot = inner.slots.get_mut(sock.0).ok_or(DcError::BadSocket)?;
+        match slot.state {
+            SlotState::Fresh | SlotState::Done => {}
+            _ => return Err(DcError::BadState),
+        }
+        slot.state = SlotState::Listening(port);
+        if let Some(ps) = inner.ports.get_mut(&port) {
+            ps.waiting.push_back(sock.0);
+            return Ok(());
+        }
+        let host = self.host;
+        let listener = self
+            .net
+            .with(|w| w.tcp_listen(host, port, 64))
+            .map_err(|_| DcError::BadState)?;
+        let mut waiting = VecDeque::new();
+        waiting.push_back(sock.0);
+        inner.ports.insert(port, PortState { listener, waiting });
+        Ok(())
+    }
+
+    /// `tcp_open(&sock, …)`: active open toward `remote`.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::BadState`] if the slot is busy.
+    pub fn tcp_open(&self, sock: TcpSock, remote: Endpoint) -> Result<(), DcError> {
+        let mut inner = self.inner.lock().expect("stack lock");
+        let slot = inner.slots.get_mut(sock.0).ok_or(DcError::BadSocket)?;
+        match slot.state {
+            SlotState::Fresh | SlotState::Done => {}
+            _ => return Err(DcError::BadState),
+        }
+        let host = self.host;
+        let sid = self.net.with(|w| w.tcp_connect(host, remote));
+        slot.state = SlotState::Connected(sid);
+        Ok(())
+    }
+
+    /// `tcp_tick(...)`: drives the stack — pumps the simulated wire and
+    /// hands freshly established connections to waiting listeners.
+    ///
+    /// With `None` (the C code's `tcp_tick(NULL)`) it only drives the
+    /// stack and returns true. With a socket it additionally reports
+    /// whether that socket is still usable (false once the connection is
+    /// fully closed or reset), which is what the Figure 2b echo loop
+    /// tests.
+    pub fn tcp_tick(&self, sock: Option<TcpSock>) -> bool {
+        self.net.pump(TICK_US);
+        self.dispatch_accepts();
+        match sock {
+            None => true,
+            Some(s) => self.sock_usable(s),
+        }
+    }
+
+    fn dispatch_accepts(&self) {
+        let mut inner = self.inner.lock().expect("stack lock");
+        let inner = &mut *inner;
+        for ps in inner.ports.values_mut() {
+            while !ps.waiting.is_empty() {
+                let Some(conn) = self.net.with(|w| w.tcp_accept(ps.listener)) else {
+                    break;
+                };
+                let idx = ps.waiting.pop_front().expect("non-empty");
+                inner.slots[idx].state = SlotState::Connected(conn);
+            }
+        }
+    }
+
+    fn conn_of(&self, sock: TcpSock) -> Option<SocketId> {
+        let inner = self.inner.lock().expect("stack lock");
+        match inner.slots.get(sock.0)?.state {
+            SlotState::Connected(sid) => Some(sid),
+            _ => None,
+        }
+    }
+
+    fn sock_usable(&self, sock: TcpSock) -> bool {
+        let state = {
+            let inner = self.inner.lock().expect("stack lock");
+            match inner.slots.get(sock.0) {
+                Some(s) => match s.state {
+                    SlotState::Listening(_) => return true,
+                    SlotState::Connected(sid) => Some(sid),
+                    _ => None,
+                },
+                None => None,
+            }
+        };
+        let Some(sid) = state else { return false };
+        self.net.with(|w| {
+            let st = w.tcp_state(sid);
+            !matches!(st, TcpState::Closed | TcpState::TimeWait) || w.tcp_available(sid) > 0
+        })
+    }
+
+    /// `sock_established(&sock)`: non-blocking check, usable inside
+    /// `waitfor(...)` exactly as the paper's Figure 3 does.
+    pub fn sock_established(&self, sock: TcpSock) -> bool {
+        self.conn_of(sock)
+            .is_some_and(|sid| self.net.with(|w| w.tcp_established(sid)))
+    }
+
+    /// `sock_wait_established(&sock, timeout, …)`: ticks the stack until
+    /// the socket is established.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::Timeout`] after `max_ticks` rounds.
+    pub fn sock_wait_established(&self, sock: TcpSock, max_ticks: usize) -> Result<(), DcError> {
+        for _ in 0..max_ticks {
+            if self.sock_established(sock) {
+                return Ok(());
+            }
+            self.tcp_tick(None);
+        }
+        Err(DcError::Timeout)
+    }
+
+    /// `sock_mode(&sock, TCP_MODE_ASCII / _BINARY)`.
+    pub fn sock_mode(&self, sock: TcpSock, mode: SockMode) {
+        if let Some(slot) = self.inner.lock().expect("stack lock").slots.get_mut(sock.0) {
+            slot.mode = mode;
+        }
+    }
+
+    /// Bytes readable right now (`sock_bytesready` analogue; -1 becomes 0).
+    pub fn sock_bytesready(&self, sock: TcpSock) -> usize {
+        self.conn_of(sock)
+            .map_or(0, |sid| self.net.with(|w| w.tcp_available(sid)))
+    }
+
+    /// `sock_wait_input`: ticks until input (or EOF) is available.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::Timeout`] after `max_ticks` rounds without input.
+    pub fn sock_wait_input(&self, sock: TcpSock, max_ticks: usize) -> Result<(), DcError> {
+        for _ in 0..max_ticks {
+            if self.sock_bytesready(sock) > 0 || !self.sock_usable(sock) {
+                return Ok(());
+            }
+            if let Some(sid) = self.conn_of(sock) {
+                if self.net.with(|w| {
+                    let mut probe = [0u8; 0];
+                    matches!(w.tcp_recv(sid, &mut probe), Recv::Closed | Recv::Reset)
+                }) {
+                    return Ok(());
+                }
+            }
+            self.tcp_tick(None);
+        }
+        Err(DcError::Timeout)
+    }
+
+    /// Whether the peer has closed its direction and everything buffered
+    /// has been drained (distinguishes "no data yet" from end of stream).
+    pub fn sock_peer_closed(&self, sock: TcpSock) -> bool {
+        let Some(sid) = self.conn_of(sock) else {
+            return false;
+        };
+        self.net.with(|w| {
+            let mut probe = [0u8; 0];
+            matches!(w.tcp_recv(sid, &mut probe), Recv::Closed | Recv::Reset)
+        })
+    }
+
+    /// `sock_read`: non-blocking read of raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::NotEstablished`] if the slot has no live connection.
+    pub fn sock_read(&self, sock: TcpSock, buf: &mut [u8]) -> Result<usize, DcError> {
+        let sid = self.conn_of(sock).ok_or(DcError::NotEstablished)?;
+        match self.net.with(|w| w.tcp_recv(sid, buf)) {
+            Recv::Data(n) => Ok(n),
+            Recv::WouldBlock | Recv::Closed => Ok(0),
+            Recv::Reset => Err(DcError::NotEstablished),
+        }
+    }
+
+    /// `sock_write`: queues raw bytes; returns how many were accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::NotEstablished`] without a live connection.
+    pub fn sock_write(&self, sock: TcpSock, data: &[u8]) -> Result<usize, DcError> {
+        let sid = self.conn_of(sock).ok_or(DcError::NotEstablished)?;
+        self.net
+            .with(|w| w.tcp_send(sid, data))
+            .map_err(|_| DcError::NotEstablished)
+    }
+
+    /// `sock_gets`: in ASCII mode, returns the next complete line (without
+    /// its terminator), or `None` if no full line has arrived.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::BadState`] in binary mode, [`DcError::NotEstablished`]
+    /// without a connection.
+    pub fn sock_gets(&self, sock: TcpSock) -> Result<Option<String>, DcError> {
+        let mode = {
+            let inner = self.inner.lock().expect("stack lock");
+            inner.slots.get(sock.0).ok_or(DcError::BadSocket)?.mode
+        };
+        if mode != SockMode::Ascii {
+            return Err(DcError::BadState);
+        }
+        let sid = self.conn_of(sock).ok_or(DcError::NotEstablished)?;
+        // Move everything the stack has buffered into the slot's line
+        // buffer, then split off the first complete line.
+        let bytes = self.net.with(|w| {
+            let avail = w.tcp_available(sid);
+            if avail == 0 {
+                return Vec::new();
+            }
+            let mut probe = vec![0u8; avail];
+            match w.tcp_recv(sid, &mut probe) {
+                Recv::Data(n) => {
+                    probe.truncate(n);
+                    probe
+                }
+                _ => Vec::new(),
+            }
+        });
+        let mut inner = self.inner.lock().expect("stack lock");
+        let entry = inner.line_bufs.entry(sock.0).or_default();
+        entry.extend_from_slice(&bytes);
+        let Some(pos) = entry.iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let mut line: Vec<u8> = entry.drain(..=pos).collect();
+        line.pop(); // the \n itself
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+    }
+
+    /// `sock_puts`: writes a string; ASCII mode appends CRLF.
+    ///
+    /// # Errors
+    ///
+    /// [`DcError::NotEstablished`] without a connection.
+    pub fn sock_puts(&self, sock: TcpSock, line: &str) -> Result<(), DcError> {
+        let mode = {
+            let inner = self.inner.lock().expect("stack lock");
+            inner.slots.get(sock.0).ok_or(DcError::BadSocket)?.mode
+        };
+        let sid = self.conn_of(sock).ok_or(DcError::NotEstablished)?;
+        let mut data = line.as_bytes().to_vec();
+        if mode == SockMode::Ascii {
+            data.extend_from_slice(b"\r\n");
+        }
+        let mut off = 0;
+        while off < data.len() {
+            let n = self
+                .net
+                .with(|w| w.tcp_send(sid, &data[off..]))
+                .map_err(|_| DcError::NotEstablished)?;
+            off += n;
+            if n == 0 {
+                self.tcp_tick(None);
+            }
+        }
+        Ok(())
+    }
+
+    /// `sock_close`: orderly close; the slot becomes reusable for another
+    /// `tcp_listen`/`tcp_open`.
+    pub fn sock_close(&self, sock: TcpSock) {
+        let mut inner = self.inner.lock().expect("stack lock");
+        let Some(slot) = inner.slots.get_mut(sock.0) else {
+            return;
+        };
+        match std::mem::take(&mut slot.state) {
+            SlotState::Connected(sid) => {
+                slot.state = SlotState::Done;
+                let _ = self.net.with(|w| w.tcp_close(sid));
+            }
+            SlotState::Listening(port) => {
+                slot.state = SlotState::Done;
+                if let Some(ps) = inner.ports.get_mut(&port) {
+                    ps.waiting.retain(|&i| i != sock.0);
+                }
+            }
+            other => slot.state = other,
+        }
+        inner.line_bufs.remove(&sock.0);
+    }
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("stack lock");
+        f.debug_struct("Stack")
+            .field("host", &self.host)
+            .field("slots", &inner.slots.len())
+            .field("ports", &inner.ports.len())
+            .finish()
+    }
+}

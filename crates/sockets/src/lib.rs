@@ -1,0 +1,21 @@
+//! Two socket APIs over one simulated network — the exact API gap that
+//! made the port in *Porting a Network Cryptographic Service to the
+//! RMC2000* (DATE 2003) hard (its Figure 2):
+//!
+//! * [`bsd`] — the Unix interface issl was written against:
+//!   `socket`/`bind`/`listen`/`accept`/`recv`/`send` over descriptors,
+//!   with `sockaddr_in` and `htons`/`htonl`.
+//! * [`dynic`] — the Dynamic C interface of the RMC2000 kit:
+//!   `sock_init`, `tcp_listen` (no accept; the listening socket becomes
+//!   the connection), `tcp_tick` driving the stack, ASCII-mode
+//!   `sock_gets`/`sock_puts`.
+//!
+//! Both run over [`Net`], a shared handle to a [`netsim::World`], so the
+//! same service can be written against each API and compared packet for
+//! packet.
+
+pub mod bsd;
+pub mod dynic;
+pub mod net;
+
+pub use net::{Blocking, Net};

@@ -1,0 +1,110 @@
+//! Capstone firmware test: the whole embedded stack in one image.
+//!
+//! Custom firmware on the simulated RMC2000 polls serial port A for a
+//! 16-byte key and a 16-byte block, runs the hand-optimized AES routines
+//! (linked from the `aes-rabbit` assembly source), and transmits the
+//! ciphertext back over the serial port — a miniature of the paper's
+//! "crypto coprocessor" idea, executed instruction by instruction on the
+//! board model and checked against the FIPS-pinned reference cipher.
+
+use aes_rabbit::aes128_asm_source;
+use rabbit::assemble;
+use rmc2000::{Board, RunOutcome};
+
+/// The serial front-end, grafted onto the AES image at a free code
+/// address. `Akey` and `Astate` are adjacent in the data section, so one
+/// 32-byte read fills both; `encrypt` works on `Astate` in place.
+const FIRMWARE_HARNESS: &str = "
+        org 0x7000
+fw:     ld sp, 0xDFF0
+        ld hl, Akey
+        ld b, 32
+fwrd:   ioi ld a, (0xC3)    ; SASR: wait for receive-data-ready
+        and 0x80
+        jr z, fwrd
+        ioi ld a, (0xC0)    ; SADR: take the byte
+        ld (hl), a
+        inc hl
+        djnz fwrd
+        call expand
+        call encrypt
+        ld hl, Astate
+        ld b, 16
+fwtx:   ld a, (hl)
+        ioi ld (0xC0), a    ; transmit ciphertext
+        inc hl
+        djnz fwtx
+        halt
+";
+
+fn boot_firmware() -> Board {
+    let mut src = aes128_asm_source(1);
+    src.push_str(FIRMWARE_HARNESS);
+    let image = assemble(&src).expect("firmware assembles");
+    let mut board = Board::new();
+    board.load(&image);
+    board.set_pc(image.symbol("fw").expect("fw entry"));
+    board
+}
+
+#[test]
+fn board_encrypts_serial_input_to_serial_output() {
+    let mut board = boot_firmware();
+
+    // FIPS-197 C.1: key 00..0f, plaintext 00 11 22 .. ff.
+    let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+    let plain: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+    for b in key.iter().chain(&plain) {
+        board.io.serial.inject(*b);
+    }
+
+    assert_eq!(board.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(
+        board.io.serial.transmitted(),
+        &[
+            0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
+            0xC5, 0x5A
+        ],
+        "ciphertext on the wire matches FIPS-197 appendix C.1"
+    );
+}
+
+#[test]
+fn firmware_blocks_until_enough_input_arrives() {
+    let mut board = boot_firmware();
+    // Only half the input: the firmware must keep polling, not halt.
+    for b in 0..16u8 {
+        board.io.serial.inject(b);
+    }
+    assert_eq!(board.run(2_000_000), RunOutcome::BudgetExhausted);
+    assert!(board.io.serial.transmitted().is_empty());
+
+    // Deliver the rest; it finishes.
+    let plain: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+    for b in plain {
+        board.io.serial.inject(b);
+    }
+    assert_eq!(board.run(50_000_000), RunOutcome::Halted);
+    assert_eq!(board.io.serial.transmitted().len(), 16);
+}
+
+#[test]
+fn firmware_agrees_with_host_cipher_on_random_inputs() {
+    let mut prng = crypto::Prng::new(0xF1F1);
+    for trial in 0..3 {
+        let mut board = boot_firmware();
+        let mut key = [0u8; 16];
+        let mut plain = [0u8; 16];
+        prng.fill(&mut key);
+        prng.fill(&mut plain);
+        for b in key.iter().chain(&plain) {
+            board.io.serial.inject(*b);
+        }
+        assert_eq!(board.run(50_000_000), RunOutcome::Halted, "trial {trial}");
+
+        let reference = crypto::Rijndael::aes(&key).expect("key");
+        let mut expect = plain;
+        reference.encrypt_block(&mut expect);
+        assert_eq!(board.io.serial.transmitted(), expect, "trial {trial}");
+    }
+}

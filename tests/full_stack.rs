@@ -1,0 +1,176 @@
+//! Full-stack integration spanning every crate: the reproduction's two
+//! worlds — the Unix host profile and the RMC2000 port — interoperate
+//! over one simulated network, while the instruction-level substrate
+//! (Rabbit CPU + dcc + hand assembly) agrees with the host-grade cipher
+//! on the very bytes the service carries.
+
+use std::sync::atomic::Ordering;
+
+use aes_rabbit::{measure, Implementation};
+use dynamicc::Scheduler;
+use issl::host::{spawn_driver, spawn_secure_client, standard_rig};
+use issl::rmc::{spawn_rmc_server, RmcServerConfig};
+use issl::{CipherSuite, ClientConfig, ClientKx};
+use netsim::Endpoint;
+use sockets::dynic::Stack;
+
+/// A Unix-profile client talks to the board's ported service; the same
+/// plaintext block, encrypted with the session-independent AES-128 on the
+/// simulated Rabbit CPU (both the C port and the hand assembly), matches
+/// the host cipher used inside the session.
+#[test]
+fn unix_client_to_board_service_with_cpu_level_aes_agreement() {
+    // 1. Service-level exchange: host client <-> board server.
+    let (net, board, client_host) = standard_rig(0xF5);
+    let stack = Stack::sock_init(&net, board);
+    let mut sched = Scheduler::new();
+    let config = RmcServerConfig::default();
+    let server = spawn_rmc_server(&mut sched, &stack, &config);
+
+    let payload: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+    let result = spawn_secure_client(
+        &mut sched,
+        &net,
+        client_host,
+        Endpoint::new(net.with(|w| w.host_ip(board)), config.port),
+        ClientConfig {
+            suite: CipherSuite::AES128,
+            kx: ClientKx::PreShared(config.psk.clone()),
+        },
+        payload.clone(),
+        256,
+        0xBEEF,
+    );
+    spawn_driver(&mut sched, &net, 2_000);
+    let mut rounds = 0u64;
+    while !result.done.load(Ordering::SeqCst) && !result.failed.load(Ordering::SeqCst) {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 2_000_000, "exchange stalled");
+    }
+    assert!(!result.failed.load(Ordering::SeqCst));
+    assert_eq!(result.bytes_verified.load(Ordering::SeqCst), 1024);
+    drop(sched);
+    assert_eq!(server.stats.rejected_suites.load(Ordering::SeqCst), 0);
+
+    // 2. Instruction-level agreement: the cipher the session used,
+    //    re-run on the simulated Rabbit CPU both ways.
+    let key = [0x42u8; 16];
+    let mut block = [0u8; 16];
+    block.copy_from_slice(&payload[..16]);
+    let asm = measure(&Implementation::HandAsm, &key, &[block]).expect("asm");
+    let c = measure(
+        &Implementation::CompiledC(dcc::Options::all_optimizations()),
+        &key,
+        &[block],
+    )
+    .expect("c");
+    let reference = crypto::Rijndael::aes(&key).expect("key");
+    let mut expect = block;
+    reference.encrypt_block(&mut expect);
+    assert_eq!(asm.outputs[0], expect, "hand asm agrees with host cipher");
+    assert_eq!(c.outputs[0], expect, "compiled C agrees with host cipher");
+}
+
+/// The board rejects what the port dropped: a host client offering
+/// Rijndael-256/256 is turned away by the embedded profile but served by
+/// the host profile.
+#[test]
+fn suite_support_differs_between_profiles_as_ported() {
+    use crypto::Size;
+    use issl::host::{spawn_redirector, ComputeCost, RedirectorConfig};
+    use issl::{FileLog, Filesystem, ServerConfig, ServerKx};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rsa::KeyPair;
+
+    let big = CipherSuite {
+        key: Size::Bits256,
+        block: Size::Bits256,
+    };
+
+    // Host profile serves the big suite...
+    let (net, host_server, client_host) = standard_rig(0xF6);
+    let mut sched = Scheduler::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    spawn_redirector(
+        &mut sched,
+        &net,
+        host_server,
+        &RedirectorConfig {
+            port: 4433,
+            backend: None,
+            tls: ServerConfig {
+                suites: vec![CipherSuite::AES128, big],
+                kx: ServerKx::Rsa(KeyPair::generate(512, &mut rng)),
+            },
+            workers: 1,
+            seed: 6,
+            compute: ComputeCost::free(),
+        },
+        FileLog::new(Filesystem::new(), "/var/log/issl.log"),
+    );
+    let ok = spawn_secure_client(
+        &mut sched,
+        &net,
+        client_host,
+        Endpoint::new(net.with(|w| w.host_ip(host_server)), 4433),
+        ClientConfig {
+            suite: big,
+            kx: ClientKx::Rsa,
+        },
+        b"big blocks welcome here".to_vec(),
+        64,
+        7,
+    );
+    spawn_driver(&mut sched, &net, 2_000);
+    let mut rounds = 0u64;
+    while !ok.done.load(Ordering::SeqCst) && !ok.failed.load(Ordering::SeqCst) {
+        sched.tick();
+        rounds += 1;
+        assert!(rounds < 2_000_000);
+    }
+    assert!(
+        !ok.failed.load(Ordering::SeqCst),
+        "host profile serves 256/256"
+    );
+    drop(sched);
+
+    // ...the board does not.
+    let (net2, board, client2) = standard_rig(0xF7);
+    let stack = Stack::sock_init(&net2, board);
+    let mut sched2 = Scheduler::new();
+    let config = RmcServerConfig::default();
+    let server = spawn_rmc_server(&mut sched2, &stack, &config);
+    let rejected = spawn_secure_client(
+        &mut sched2,
+        &net2,
+        client2,
+        Endpoint::new(net2.with(|w| w.host_ip(board)), config.port),
+        ClientConfig {
+            suite: big,
+            kx: ClientKx::PreShared(config.psk.clone()),
+        },
+        b"will be refused".to_vec(),
+        64,
+        8,
+    );
+    spawn_driver(&mut sched2, &net2, 2_000);
+    let mut rounds = 0u64;
+    while !rejected.done.load(Ordering::SeqCst) && !rejected.failed.load(Ordering::SeqCst) {
+        sched2.tick();
+        rounds += 1;
+        assert!(rounds < 2_000_000);
+    }
+    assert!(
+        rejected.failed.load(Ordering::SeqCst),
+        "the port only kept AES-128/128"
+    );
+    for _ in 0..10_000 {
+        sched2.tick();
+        if server.stats.rejected_suites.load(Ordering::SeqCst) > 0 {
+            break;
+        }
+    }
+    assert_eq!(server.stats.rejected_suites.load(Ordering::SeqCst), 1);
+}
