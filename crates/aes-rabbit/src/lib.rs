@@ -25,7 +25,7 @@
 pub mod asm_impl;
 pub mod csource;
 
-use rabbit::{assemble, Cpu, Memory, NullIo};
+use rabbit::{assemble, Cpu, Engine, Memory, NullIo};
 
 pub use asm_impl::{aes128_asm_source, aes128_asm_source_unaligned};
 pub use csource::{aes128_c_decrypt_source, aes128_c_source};
@@ -145,11 +145,31 @@ pub fn measure(
     key: &[u8; 16],
     blocks: &[[u8; 16]],
 ) -> Result<Measurement, AesRabbitError> {
+    measure_on(Engine::BlockCache, imp, key, blocks)
+}
+
+/// As [`measure`], but on an explicitly chosen execution engine. The
+/// cycle tables are identical either way; the benchmarks use this to
+/// compare host-side throughput.
+///
+/// # Errors
+///
+/// As [`measure`].
+///
+/// # Panics
+///
+/// Panics when `blocks` is empty.
+pub fn measure_on(
+    engine: Engine,
+    imp: &Implementation,
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+) -> Result<Measurement, AesRabbitError> {
     assert!(!blocks.is_empty(), "need at least one block");
     let m = match imp {
-        Implementation::CompiledC(opts) => run_c(*opts, key, blocks)?,
-        Implementation::HandAsm => run_asm(key, blocks, true)?,
-        Implementation::HandAsmUnaligned => run_asm(key, blocks, false)?,
+        Implementation::CompiledC(opts) => run_c(engine, *opts, key, blocks)?,
+        Implementation::HandAsm => run_asm(engine, key, blocks, true)?,
+        Implementation::HandAsmUnaligned => run_asm(engine, key, blocks, false)?,
     };
     // Verify against the host-grade reference.
     let reference = crypto::Rijndael::aes(key).expect("16-byte key");
@@ -164,6 +184,7 @@ pub fn measure(
 }
 
 fn run_c(
+    engine: Engine,
     opts: dcc::Options,
     key: &[u8; 16],
     blocks: &[[u8; 16]],
@@ -174,7 +195,7 @@ fn run_c(
     build.write_bytes(&mut mem, "_key", key);
     build.write_bytes(&mut mem, "_input", &flatten(blocks));
     build
-        .run_prepared(&mut cpu, &mut mem, MAX_CYCLES)
+        .run_prepared_on(engine, &mut cpu, &mut mem, MAX_CYCLES)
         .map_err(|e| AesRabbitError::Run(e.to_string()))?;
     let out = build.read_bytes(&mem, "_output", blocks.len() * 16);
     Ok(Measurement {
@@ -186,6 +207,7 @@ fn run_c(
 }
 
 fn run_asm(
+    engine: Engine,
     key: &[u8; 16],
     blocks: &[[u8; 16]],
     aligned: bool,
@@ -211,7 +233,7 @@ fn run_asm(
     cpu.mmu.dataseg = 0x78;
     cpu.mmu.stackseg = 0x78;
     cpu.regs.pc = 0x4000;
-    cpu.run(&mut mem, &mut NullIo, MAX_CYCLES)
+    cpu.run_on(engine, &mut mem, &mut NullIo, MAX_CYCLES)
         .map_err(|e| AesRabbitError::Run(e.to_string()))?;
     if !cpu.halted {
         return Err(AesRabbitError::Run("did not halt".into()));

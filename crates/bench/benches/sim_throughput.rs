@@ -1,0 +1,106 @@
+//! Host-side throughput of the two execution engines on the AES
+//! workload: how many simulated instructions per host second each engine
+//! retires (MIPS), and the simulated-clock rate that corresponds to.
+//!
+//! The AES-128 hand-assembly program is assembled once; every iteration
+//! then builds a fresh machine (so the block engine pays its full decode
+//! cost inside the measurement) and runs it to `halt`. Both engines
+//! execute the identical instruction stream and produce identical cycle
+//! counts — only wall-clock differs.
+
+use aes_rabbit::{aes128_asm_source, testbench_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rabbit::{assemble, Cpu, Engine, Image, Memory, NullIo};
+use std::time::Instant;
+
+const BLOCKS: usize = 32;
+const MAX_CYCLES: u64 = 200_000_000;
+
+/// The standard firmware load mapping (same as `aes_rabbit`/`dcc`).
+fn rmc_phys(addr: u16) -> u32 {
+    if addr >= 0xE000 {
+        u32::from(addr) + 0x76 * 0x1000
+    } else if addr >= 0x8000 {
+        u32::from(addr) + 0x78000
+    } else {
+        u32::from(addr)
+    }
+}
+
+struct Workload {
+    image: Image,
+    key: [u8; 16],
+    input: Vec<u8>,
+}
+
+fn workload() -> Workload {
+    let (key, blocks) = testbench_workload(BLOCKS, 0xAE5);
+    let image = assemble(&aes128_asm_source(BLOCKS)).expect("AES asm assembles");
+    let input: Vec<u8> = blocks.iter().flatten().copied().collect();
+    Workload { image, key, input }
+}
+
+fn machine(w: &Workload) -> (Cpu, Memory) {
+    let mut mem = Memory::new();
+    for s in &w.image.sections {
+        mem.load(rmc_phys(s.addr), &s.bytes);
+    }
+    mem.load(rmc_phys(w.image.symbol("Akey").unwrap()), &w.key);
+    mem.load(rmc_phys(w.image.symbol("Ainput").unwrap()), &w.input);
+    let mut cpu = Cpu::new();
+    cpu.mmu.segsize = 0xD8;
+    cpu.mmu.dataseg = 0x78;
+    cpu.mmu.stackseg = 0x78;
+    cpu.regs.pc = 0x4000;
+    (cpu, mem)
+}
+
+fn run_once(w: &Workload, engine: Engine) -> (u64, u64) {
+    let (mut cpu, mut mem) = machine(w);
+    cpu.run_on(engine, &mut mem, &mut NullIo, MAX_CYCLES)
+        .expect("AES run faults");
+    assert!(cpu.halted, "AES run must halt");
+    (cpu.cycles, cpu.instructions)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let w = workload();
+    // Sanity: the engines must agree before we compare their speed.
+    assert_eq!(run_once(&w, Engine::Interpreter), run_once(&w, Engine::BlockCache));
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(20);
+    for (name, engine) in [
+        ("interpreter", Engine::Interpreter),
+        ("block_cache", Engine::BlockCache),
+    ] {
+        group.bench_function(name, |b| b.iter(|| run_once(&w, engine)));
+    }
+    group.finish();
+
+    // Direct MIPS report, in the shape the EXPERIMENTS.md appendix quotes.
+    println!("mips (AES-128 hand-asm, {BLOCKS} blocks, fresh machine per run):");
+    let mut rates = Vec::new();
+    for (name, engine) in [
+        ("interpreter", Engine::Interpreter),
+        ("block_cache", Engine::BlockCache),
+    ] {
+        let (mut runs, mut instructions, mut cycles) = (0u64, 0u64, 0u64);
+        let t = Instant::now();
+        while t.elapsed().as_millis() < 500 {
+            let (c, i) = run_once(&w, engine);
+            cycles += c;
+            instructions += i;
+            runs += 1;
+        }
+        let secs = t.elapsed().as_secs_f64();
+        let mips = instructions as f64 / secs / 1e6;
+        let mhz = cycles as f64 / secs / 1e6;
+        println!("  {name}: {mips:.1} MIPS ({mhz:.1} sim-MHz, {runs} runs)");
+        rates.push(mips);
+    }
+    println!("  speedup: {:.2}x", rates[1] / rates[0]);
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

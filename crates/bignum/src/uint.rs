@@ -390,6 +390,12 @@ impl BigUint {
 
     /// Modular exponentiation by square-and-multiply.
     ///
+    /// Odd moduli (every RSA modulus and every Miller–Rabin candidate)
+    /// take the Montgomery-form fast path: one full-width division to
+    /// enter the domain, then two multiply-reduce passes per exponent bit
+    /// with no allocation and no trial division. Even moduli fall back to
+    /// `mulmod` per bit. Both paths compute the same function.
+    ///
     /// # Panics
     ///
     /// Panics if `modulus` is zero.
@@ -397,6 +403,9 @@ impl BigUint {
         assert!(!modulus.is_zero(), "modpow with zero modulus");
         if modulus.is_u32(1) {
             return BigUint::zero();
+        }
+        if modulus.is_odd() {
+            return self.modpow_montgomery(exponent, modulus);
         }
         let mut result = BigUint::one();
         let mut base = self.rem(modulus);
@@ -407,6 +416,51 @@ impl BigUint {
             base = base.mulmod(&base, modulus);
         }
         result
+    }
+
+    /// Montgomery-domain square-and-multiply for odd `modulus > 1`.
+    fn modpow_montgomery(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        let n = &modulus.limbs;
+        let s = n.len();
+
+        // n0inv = -n^{-1} mod 2^32, by Newton iteration (n[0] is odd).
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        let n0inv = inv.wrapping_neg();
+
+        // R = 2^(32*s). rr = R^2 mod n brings values into the domain;
+        // this is the only full-width division in the whole exponentiation.
+        let mut rr = BigUint::one().shl(64 * s).rem(modulus).limbs;
+        rr.resize(s, 0);
+        let mut one = vec![0u32; s];
+        one[0] = 1;
+
+        let mut base = self.rem(modulus).limbs;
+        base.resize(s, 0);
+
+        let mut t = vec![0u64; s + 2];
+        let mut base_m = vec![0u32; s];
+        let mut result = vec![0u32; s];
+        let mut tmp = vec![0u32; s];
+        mont_mul(&base, &rr, n, n0inv, &mut t, &mut base_m);
+        // R mod n = mont(R^2, 1); the Montgomery form of 1.
+        mont_mul(&rr, &one, n, n0inv, &mut t, &mut result);
+
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                mont_mul(&result, &base_m, n, n0inv, &mut t, &mut tmp);
+                std::mem::swap(&mut result, &mut tmp);
+            }
+            mont_mul(&base_m, &base_m, n, n0inv, &mut t, &mut tmp);
+            std::mem::swap(&mut base_m, &mut tmp);
+        }
+        // Leave the domain: mont(x, 1) = x * R^{-1} mod n.
+        mont_mul(&result, &one, n, n0inv, &mut t, &mut tmp);
+        let mut out = BigUint { limbs: tmp };
+        out.normalize();
+        out
     }
 
     /// Greatest common divisor (binary GCD).
@@ -475,6 +529,73 @@ impl BigUint {
 }
 
 /// Computes `a - b` on sign-magnitude pairs.
+/// One CIOS Montgomery multiply-reduce: `out = a * b * R^{-1} mod n`
+/// where `R = 2^(32*n.len())`, requiring `a, b < n` and `n` odd.
+///
+/// `t` is caller-provided scratch of `n.len() + 2` u64 slots (cleared
+/// here); `out` must be `n.len()` limbs. Nothing allocates, which is the
+/// point: `modpow` calls this ~2 times per exponent bit.
+fn mont_mul(a: &[u32], b: &[u32], n: &[u32], n0inv: u32, t: &mut [u64], out: &mut [u32]) {
+    const MASK: u64 = 0xFFFF_FFFF;
+    let s = n.len();
+    for v in t.iter_mut() {
+        *v = 0;
+    }
+    for &ai in a {
+        let ai = u64::from(ai);
+        let mut carry = 0u64;
+        for j in 0..s {
+            let sum = t[j] + ai * u64::from(b[j]) + carry;
+            t[j] = sum & MASK;
+            carry = sum >> 32;
+        }
+        let sum = t[s] + carry;
+        t[s] = sum & MASK;
+        t[s + 1] += sum >> 32;
+
+        // Choose m so the lowest limb of t + m*n vanishes, then divide by
+        // 2^32 (the limb shift folded into the second pass).
+        let m = u64::from((t[0] as u32).wrapping_mul(n0inv));
+        let mut carry = (t[0] + m * u64::from(n[0])) >> 32;
+        for j in 1..s {
+            let sum = t[j] + m * u64::from(n[j]) + carry;
+            t[j - 1] = sum & MASK;
+            carry = sum >> 32;
+        }
+        let sum = t[s] + carry;
+        t[s - 1] = sum & MASK;
+        t[s] = t[s + 1] + (sum >> 32);
+        t[s + 1] = 0;
+    }
+    // t < 2n here; one conditional subtraction normalises to [0, n).
+    let mut ge = t[s] != 0;
+    if !ge {
+        ge = true; // covers t == n, which must also reduce (to zero)
+        for j in (0..s).rev() {
+            match (t[j] as u32).cmp(&n[j]) {
+                Ordering::Greater => break,
+                Ordering::Less => {
+                    ge = false;
+                    break;
+                }
+                Ordering::Equal => {}
+            }
+        }
+    }
+    if ge {
+        let mut borrow = 0i64;
+        for j in 0..s {
+            let d = t[j] as i64 - i64::from(n[j]) - borrow;
+            out[j] = d as u32;
+            borrow = i64::from(d < 0);
+        }
+    } else {
+        for j in 0..s {
+            out[j] = t[j] as u32;
+        }
+    }
+}
+
 fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
     match (a.0, b.0) {
         // a - b with both positive
@@ -651,6 +772,50 @@ mod tests {
         let m = BigUint::one().shl(199).add(&BigUint::one());
         let direct = base.mul(&base).mul(&base).rem(&m);
         assert_eq!(base.modpow(&big(3), &m), direct);
+    }
+
+    #[test]
+    fn modpow_montgomery_matches_naive() {
+        // Pseudo-random multi-limb cases: the Montgomery fast path (odd
+        // moduli) must agree with the schoolbook mulmod-per-bit loop.
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for limbs in [1usize, 2, 3, 7, 16] {
+            for _ in 0..4 {
+                let mut m_limbs: Vec<u32> = (0..limbs).map(|_| next() as u32).collect();
+                m_limbs[0] |= 1; // odd
+                *m_limbs.last_mut().unwrap() |= 0x8000_0000; // full width
+                let m = BigUint::from_bytes_be(
+                    &m_limbs
+                        .iter()
+                        .rev()
+                        .flat_map(|l| l.to_be_bytes())
+                        .collect::<Vec<u8>>(),
+                );
+                let base = big(next()).mul(&big(next())).add(&big(next()));
+                let exp = big(next() & 0xFFFF);
+                // Naive reference (the even-modulus fallback path).
+                let mut reference = BigUint::one();
+                let mut b = base.rem(&m);
+                for i in 0..exp.bits() {
+                    if exp.bit(i) {
+                        reference = reference.mulmod(&b, &m);
+                    }
+                    b = b.mulmod(&b, &m);
+                }
+                assert_eq!(base.modpow(&exp, &m), reference, "limbs={limbs}");
+            }
+        }
+        // Edge cases: exponent zero, base zero, base ≡ 0 mod m.
+        let m = big(0xFFFF_FFFF_FFFF_FFC5); // odd
+        assert_eq!(big(12345).modpow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(BigUint::zero().modpow(&big(5), &m), BigUint::zero());
+        assert_eq!(m.modpow(&big(3), &m), BigUint::zero());
     }
 
     #[test]

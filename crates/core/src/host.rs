@@ -113,8 +113,8 @@ pub fn spawn_redirector(
                 if stats.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                // accept() without a timeout: poll + yield so the stop
-                // flag stays responsive.
+                // accept() without a timeout: park until the listener has
+                // a pending connection (or stop is raised), then accept.
                 let conn = loop {
                     if stats.stop.load(Ordering::SeqCst) {
                         return;
@@ -124,7 +124,12 @@ pub fn spawn_redirector(
                             break sid;
                         }
                     }
-                    co.yield_now();
+                    let net = net.clone();
+                    let stats = Arc::clone(&stats);
+                    co.wait_until(move || {
+                        stats.stop.load(Ordering::SeqCst)
+                            || net.with(|w| w.tcp_pending(listener)) > 0
+                    });
                 };
 
                 let seed = config.seed ^ (0xC0FF_EE00 + worker as u64);
@@ -299,7 +304,12 @@ pub fn spawn_plain_echo(
                         break sid;
                     }
                 }
-                co.yield_now();
+                let net = net.clone();
+                let stats = Arc::clone(&stats);
+                co.wait_until(move || {
+                    stats.stop.load(Ordering::SeqCst)
+                        || net.with(|w| w.tcp_pending(listener)) > 0
+                });
             };
             let mut buf = [0u8; 2048];
             loop {
@@ -334,11 +344,14 @@ pub fn spawn_driver(sched: &mut Scheduler, net: &Net, quantum_us: u64) -> Arc<At
     let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
     let net = net.clone();
-    sched.spawn("net-driver", move |co| {
-        while !flag.load(Ordering::SeqCst) {
-            net.pump(quantum_us);
-            co.yield_now();
+    // Inline: the driver never blocks mid-slice, so it runs on the
+    // scheduler thread and skips two context switches per round.
+    sched.spawn_inline("net-driver", move || {
+        if flag.load(Ordering::SeqCst) {
+            return true;
         }
+        net.pump(quantum_us);
+        false
     });
     stop
 }

@@ -85,6 +85,75 @@ fn inv_sbox() -> &'static [u8; 256] {
     T.get_or_init(inv_sbox_table)
 }
 
+/// Lookup tables for the six MixColumns constants (02 03 | 0E 0B 0D 09),
+/// replacing the bit-serial GF multiply on the per-block path.
+fn mul_tables() -> &'static [[u8; 256]; 6] {
+    static T: OnceLock<[[u8; 256]; 6]> = OnceLock::new();
+    T.get_or_init(|| {
+        let consts = [0x02, 0x03, 0x0E, 0x0B, 0x0D, 0x09];
+        let mut t = [[0u8; 256]; 6];
+        for (table, c) in t.iter_mut().zip(consts) {
+            for (x, e) in table.iter_mut().enumerate() {
+                *e = mul(c, x as u8);
+            }
+        }
+        t
+    })
+}
+
+/// Combined SubBytes+MixColumns tables for the 4-column (AES) geometry:
+/// `ENC[i][b]` is the packed column contribution of S-box output
+/// `sbox[b]` sitting in row `i`, little-endian byte order.
+fn enc_tables() -> &'static [[u32; 256]; 4] {
+    static T: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    T.get_or_init(|| {
+        let sb = sbox_table();
+        // Column i of the MixColumns matrix.
+        let m = [[2, 1, 1, 3], [3, 2, 1, 1], [1, 3, 2, 1], [1, 1, 3, 2]];
+        let mut t = [[0u32; 256]; 4];
+        for (table, coeffs) in t.iter_mut().zip(m) {
+            for (b, e) in table.iter_mut().enumerate() {
+                let y = sb[b];
+                *e = u32::from_le_bytes([
+                    mul(coeffs[0], y),
+                    mul(coeffs[1], y),
+                    mul(coeffs[2], y),
+                    mul(coeffs[3], y),
+                ]);
+            }
+        }
+        t
+    })
+}
+
+/// InvMixColumns tables (no S-box folded in: the decrypt round order
+/// interposes AddRoundKey between InvSubBytes and InvMixColumns).
+fn dec_tables() -> &'static [[u32; 256]; 4] {
+    static T: OnceLock<[[u32; 256]; 4]> = OnceLock::new();
+    T.get_or_init(|| {
+        // Column i of the InvMixColumns matrix.
+        let m = [
+            [0x0E, 0x09, 0x0D, 0x0B],
+            [0x0B, 0x0E, 0x09, 0x0D],
+            [0x0D, 0x0B, 0x0E, 0x09],
+            [0x09, 0x0D, 0x0B, 0x0E],
+        ];
+        let mut t = [[0u32; 256]; 4];
+        for (table, coeffs) in t.iter_mut().zip(m) {
+            for (b, e) in table.iter_mut().enumerate() {
+                let y = b as u8;
+                *e = u32::from_le_bytes([
+                    mul(coeffs[0], y),
+                    mul(coeffs[1], y),
+                    mul(coeffs[2], y),
+                    mul(coeffs[3], y),
+                ]);
+            }
+        }
+        t
+    })
+}
+
 /// ShiftRows offsets per row for a given Nb (Rijndael spec, Table 1: the
 /// row-2/3 offsets grow for the 256-bit block).
 fn shift_offsets(nb: usize) -> [usize; 4] {
@@ -196,7 +265,8 @@ impl Rijndael {
 
     fn shift_rows(&self, state: &mut [u8], inverse: bool) {
         let offsets = shift_offsets(self.nb);
-        let mut tmp = vec![0u8; self.nb];
+        let mut tmp = [0u8; 8]; // nb is at most 8 columns
+        let tmp = &mut tmp[..self.nb];
         for r in 1..4 {
             let off = offsets[r];
             for (c, t) in tmp.iter_mut().enumerate() {
@@ -214,11 +284,7 @@ impl Rijndael {
     }
 
     fn mix_columns(&self, state: &mut [u8], inverse: bool) {
-        let (m0, m1, m2, m3) = if inverse {
-            (0x0E, 0x0B, 0x0D, 0x09)
-        } else {
-            (0x02, 0x03, 0x01, 0x01)
-        };
+        let tabs = mul_tables();
         for c in 0..self.nb {
             let col = [
                 state[4 * c],
@@ -227,11 +293,89 @@ impl Rijndael {
                 state[4 * c + 3],
             ];
             for r in 0..4 {
-                state[4 * c + r] = mul(m0, col[r])
-                    ^ mul(m1, col[(r + 1) % 4])
-                    ^ mul(m2, col[(r + 2) % 4])
-                    ^ mul(m3, col[(r + 3) % 4]);
+                let (b0, b1, b2, b3) = (
+                    usize::from(col[r]),
+                    usize::from(col[(r + 1) % 4]),
+                    usize::from(col[(r + 2) % 4]),
+                    usize::from(col[(r + 3) % 4]),
+                );
+                state[4 * c + r] = if inverse {
+                    tabs[2][b0] ^ tabs[3][b1] ^ tabs[4][b2] ^ tabs[5][b3]
+                } else {
+                    tabs[0][b0] ^ tabs[1][b1] ^ col[(r + 2) % 4] ^ col[(r + 3) % 4]
+                };
             }
+        }
+    }
+
+    /// Round key for column `c` of round `round`, packed little-endian.
+    #[inline]
+    fn rk(&self, round: usize, c: usize) -> u32 {
+        u32::from_le_bytes(self.round_keys[round * self.nb + c])
+    }
+
+    /// Table-driven encryption for the 4-column (AES proper) geometry.
+    fn encrypt_block4(&self, block: &mut [u8]) {
+        let te = enc_tables();
+        let sb = sbox();
+        let mut col = [0u32; 4];
+        for (c, chunk) in block.chunks_exact(4).enumerate() {
+            col[c] = u32::from_le_bytes(chunk.try_into().expect("4 bytes")) ^ self.rk(0, c);
+        }
+        for round in 1..self.nr {
+            let mut out = [0u32; 4];
+            for (c, o) in out.iter_mut().enumerate() {
+                *o = te[0][(col[c] & 0xFF) as usize]
+                    ^ te[1][((col[(c + 1) & 3] >> 8) & 0xFF) as usize]
+                    ^ te[2][((col[(c + 2) & 3] >> 16) & 0xFF) as usize]
+                    ^ te[3][(col[(c + 3) & 3] >> 24) as usize]
+                    ^ self.rk(round, c);
+            }
+            col = out;
+        }
+        for (c, chunk) in block.chunks_exact_mut(4).enumerate() {
+            let v = u32::from_le_bytes([
+                sb[(col[c] & 0xFF) as usize],
+                sb[((col[(c + 1) & 3] >> 8) & 0xFF) as usize],
+                sb[((col[(c + 2) & 3] >> 16) & 0xFF) as usize],
+                sb[(col[(c + 3) & 3] >> 24) as usize],
+            ]) ^ self.rk(self.nr, c);
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Table-driven decryption for the 4-column geometry.
+    fn decrypt_block4(&self, block: &mut [u8]) {
+        let td = dec_tables();
+        let isb = inv_sbox();
+        // InvShiftRows moves row r right by r: destination column c takes
+        // its row-r byte from column (c - r) mod 4.
+        let inv_sub_shift = |col: &[u32; 4], c: usize| -> u32 {
+            u32::from_le_bytes([
+                isb[(col[c] & 0xFF) as usize],
+                isb[((col[(c + 3) & 3] >> 8) & 0xFF) as usize],
+                isb[((col[(c + 2) & 3] >> 16) & 0xFF) as usize],
+                isb[(col[(c + 1) & 3] >> 24) as usize],
+            ])
+        };
+        let mut col = [0u32; 4];
+        for (c, chunk) in block.chunks_exact(4).enumerate() {
+            col[c] = u32::from_le_bytes(chunk.try_into().expect("4 bytes")) ^ self.rk(self.nr, c);
+        }
+        for round in (1..self.nr).rev() {
+            let mut out = [0u32; 4];
+            for (c, o) in out.iter_mut().enumerate() {
+                let u = inv_sub_shift(&col, c) ^ self.rk(round, c);
+                *o = td[0][(u & 0xFF) as usize]
+                    ^ td[1][((u >> 8) & 0xFF) as usize]
+                    ^ td[2][((u >> 16) & 0xFF) as usize]
+                    ^ td[3][(u >> 24) as usize];
+            }
+            col = out;
+        }
+        for (c, chunk) in block.chunks_exact_mut(4).enumerate() {
+            let v = inv_sub_shift(&col, c) ^ self.rk(0, c);
+            chunk.copy_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -242,14 +386,18 @@ impl Rijndael {
     /// Panics if `block.len() != self.block_bytes()`.
     pub fn encrypt_block(&self, block: &mut [u8]) {
         assert_eq!(block.len(), self.block_bytes, "block length");
+        if self.nb == 4 {
+            return self.encrypt_block4(block);
+        }
+        let sb = sbox();
         self.add_round_key(block, 0);
         for round in 1..self.nr {
-            self.sub_bytes(block, sbox());
+            self.sub_bytes(block, sb);
             self.shift_rows(block, false);
             self.mix_columns(block, false);
             self.add_round_key(block, round);
         }
-        self.sub_bytes(block, sbox());
+        self.sub_bytes(block, sb);
         self.shift_rows(block, false);
         self.add_round_key(block, self.nr);
     }
@@ -261,15 +409,19 @@ impl Rijndael {
     /// Panics if `block.len() != self.block_bytes()`.
     pub fn decrypt_block(&self, block: &mut [u8]) {
         assert_eq!(block.len(), self.block_bytes, "block length");
+        if self.nb == 4 {
+            return self.decrypt_block4(block);
+        }
+        let sb = inv_sbox();
         self.add_round_key(block, self.nr);
         for round in (1..self.nr).rev() {
             self.shift_rows(block, true);
-            self.sub_bytes(block, inv_sbox());
+            self.sub_bytes(block, sb);
             self.add_round_key(block, round);
             self.mix_columns(block, true);
         }
         self.shift_rows(block, true);
-        self.sub_bytes(block, inv_sbox());
+        self.sub_bytes(block, sb);
         self.add_round_key(block, 0);
     }
 }

@@ -33,12 +33,26 @@ impl Sha1 {
     /// Absorbs bytes.
     pub fn update(&mut self, data: &[u8]) {
         self.len_bits = self.len_bits.wrapping_add(data.len() as u64 * 8);
-        self.buf.extend_from_slice(data);
-        while self.buf.len() >= BLOCK_LEN {
-            let block: [u8; BLOCK_LEN] = self.buf[..BLOCK_LEN].try_into().expect("length checked");
-            self.compress(&block);
-            self.buf.drain(..BLOCK_LEN);
+        let mut rest = data;
+        // Top up a partial buffer first.
+        if !self.buf.is_empty() {
+            let need = BLOCK_LEN - self.buf.len();
+            let take = need.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() == BLOCK_LEN {
+                let block: [u8; BLOCK_LEN] = self.buf[..].try_into().expect("length checked");
+                self.compress(&block);
+                self.buf.clear();
+            }
         }
+        // Whole blocks straight from the input, no staging copy.
+        while rest.len() >= BLOCK_LEN {
+            let block: [u8; BLOCK_LEN] = rest[..BLOCK_LEN].try_into().expect("length checked");
+            self.compress(&block);
+            rest = &rest[BLOCK_LEN..];
+        }
+        self.buf.extend_from_slice(rest);
     }
 
     /// Finishes and returns the digest.

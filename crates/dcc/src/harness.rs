@@ -141,7 +141,23 @@ impl Build {
         mem: &mut Memory,
         max_cycles: u64,
     ) -> Result<RunResult, HarnessError> {
-        cpu.run(mem, &mut NullIo, max_cycles)
+        self.run_prepared_on(rabbit::Engine::BlockCache, cpu, mem, max_cycles)
+    }
+
+    /// As [`Build::run_prepared`], but on an explicitly chosen execution
+    /// engine (the benchmarks compare the two).
+    ///
+    /// # Errors
+    ///
+    /// As [`Build::run`].
+    pub fn run_prepared_on(
+        &self,
+        engine: rabbit::Engine,
+        cpu: &mut Cpu,
+        mem: &mut Memory,
+        max_cycles: u64,
+    ) -> Result<RunResult, HarnessError> {
+        cpu.run_on(engine, mem, &mut NullIo, max_cycles)
             .map_err(|e| HarnessError::Run(e.to_string()))?;
         if !cpu.halted {
             return Err(HarnessError::Run(format!(

@@ -39,10 +39,15 @@ enum Turn {
     Killed,
 }
 
-#[derive(Debug)]
+/// A predicate registered by [`Co::wait_until`], evaluated by the
+/// scheduler so the parked costatement's thread stays asleep until it
+/// holds (each evaluation otherwise costs two context switches).
+type ParkPredicate = Box<dyn FnMut() -> bool + Send>;
+
 struct Baton {
     turn: Mutex<Turn>,
     cv: Condvar,
+    parked: Mutex<Option<ParkPredicate>>,
 }
 
 impl Baton {
@@ -50,6 +55,7 @@ impl Baton {
         Baton {
             turn: Mutex::new(Turn::Scheduler),
             cv: Condvar::new(),
+            parked: Mutex::new(None),
         }
     }
 
@@ -149,6 +155,22 @@ impl Co {
             self.yield_now();
         }
     }
+
+    /// Like [`Co::waitfor`], but the scheduler evaluates the predicate on
+    /// its own thread while this costatement's thread stays parked. The
+    /// predicate still runs exactly once per round, in this costatement's
+    /// round-robin position, so the observable schedule is unchanged —
+    /// only the two context switches per idle round are saved. Requires
+    /// an owning (`'static`) predicate since it outlives the call frame
+    /// borrow-wise; use [`Co::waitfor`] for borrowing predicates.
+    pub fn wait_until<F: FnMut() -> bool + Send + 'static>(&self, mut pred: F) {
+        if pred() {
+            return;
+        }
+        *self.baton.parked.lock().expect("parked lock") = Some(Box::new(pred));
+        // The scheduler clears the registration before granting the slice.
+        self.baton.hand_to_scheduler();
+    }
 }
 
 /// Identifier of a spawned costatement within its scheduler.
@@ -160,6 +182,10 @@ struct Slot {
     name: String,
     baton: Arc<Baton>,
     thread: Option<JoinHandle<()>>,
+    /// Body of an inline costatement, run directly on the scheduler
+    /// thread each round (`true` = finished). Mutually exclusive with
+    /// `thread`.
+    inline: Option<Box<dyn FnMut() -> bool + Send>>,
     done: bool,
 }
 
@@ -215,6 +241,30 @@ impl Scheduler {
             name: name.to_string(),
             baton,
             thread: Some(thread),
+            inline: None,
+            done: false,
+        });
+        id
+    }
+
+    /// Spawns an inline costatement: `body` runs once per round on the
+    /// scheduler's own thread, in spawn order like any other slot, and
+    /// finishes when it returns `true`. Fits bodies of the shape
+    /// `loop { work(); yield; }` that never block mid-slice — they keep
+    /// the round-robin schedule but skip the per-slice context switches
+    /// a dedicated thread would cost.
+    pub fn spawn_inline<F>(&mut self, name: &str, body: F) -> CostateId
+    where
+        F: FnMut() -> bool + Send + 'static,
+    {
+        let id = CostateId(self.next_id);
+        self.next_id += 1;
+        self.slots.push(Slot {
+            id,
+            name: name.to_string(),
+            baton: Arc::new(Baton::new()),
+            thread: None,
+            inline: Some(Box::new(body)),
             done: false,
         });
         id
@@ -226,6 +276,25 @@ impl Scheduler {
         for slot in &mut self.slots {
             if slot.done {
                 continue;
+            }
+            if let Some(body) = slot.inline.as_mut() {
+                if body() {
+                    slot.done = true;
+                    slot.inline = None;
+                }
+                continue;
+            }
+            // A costatement parked on a wait_until predicate sleeps
+            // through the round unless the predicate now holds.
+            {
+                let mut parked = slot.baton.parked.lock().expect("parked lock");
+                if let Some(pred) = parked.as_mut() {
+                    if pred() {
+                        *parked = None;
+                    } else {
+                        continue;
+                    }
+                }
             }
             let turn = slot.baton.hand_to_costate();
             if matches!(turn, Turn::Finished | Turn::Killed) {

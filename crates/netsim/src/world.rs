@@ -14,6 +14,22 @@ use crate::tcp::{
     TIME_WAIT_US,
 };
 
+/// Copies `len` bytes starting at `start` out of a byte deque without
+/// walking it element-by-element (the send buffer is re-read from an
+/// `in_flight` offset on every segment, so this is a hot path).
+fn copy_range(dq: &VecDeque<u8>, start: usize, len: usize) -> Vec<u8> {
+    let end = start + len;
+    let (a, b) = dq.as_slices();
+    let mut out = Vec::with_capacity(len);
+    if start < a.len() {
+        out.extend_from_slice(&a[start..end.min(a.len())]);
+    }
+    if end > a.len() {
+        out.extend_from_slice(&b[start.saturating_sub(a.len())..end - a.len()]);
+    }
+    out
+}
+
 /// Parameters of a point-to-point link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkParams {
@@ -618,9 +634,14 @@ impl World {
             return Recv::WouldBlock;
         }
         let n = buf.len().min(s.recv_buf.len());
-        for b in buf.iter_mut().take(n) {
-            *b = s.recv_buf.pop_front().expect("length checked");
+        let (a, b) = s.recv_buf.as_slices();
+        if n <= a.len() {
+            buf[..n].copy_from_slice(&a[..n]);
+        } else {
+            buf[..a.len()].copy_from_slice(a);
+            buf[a.len()..n].copy_from_slice(&b[..n - a.len()]);
         }
+        s.recv_buf.drain(..n);
         // Draining the buffer reopens the receive window; advertise it so
         // a flow-controlled sender can resume.
         let update = s.remote.is_some()
@@ -772,12 +793,7 @@ impl World {
                         .len()
                         .min(s.snd_nxt.wrapping_sub(s.snd_una) as usize);
                     if outstanding_data > 0 {
-                        let chunk: Vec<u8> = s
-                            .send_buf
-                            .iter()
-                            .take(outstanding_data.min(MSS))
-                            .copied()
-                            .collect();
+                        let chunk = copy_range(&s.send_buf, 0, outstanding_data.min(MSS));
                         (s.snd_una, chunk, false)
                     } else {
                         (s.snd_una, Vec::new(), s.fin_seq == Some(s.snd_una))
@@ -820,8 +836,7 @@ impl World {
                 if n == 0 {
                     break;
                 }
-                let chunk: Vec<u8> = s.send_buf.iter().skip(in_flight).take(n).copied().collect();
-                (s.snd_nxt, chunk)
+                (s.snd_nxt, copy_range(&s.send_buf, in_flight, n))
             };
             let n = chunk.len() as u32;
             self.emit(id, seq, TcpFlags::ACK, chunk);
@@ -982,9 +997,7 @@ impl World {
                         acked -= 1;
                     }
                 }
-                for _ in 0..acked.min(s.send_buf.len()) {
-                    s.send_buf.pop_front();
-                }
+                s.send_buf.drain(..acked.min(s.send_buf.len()));
                 s.snd_una = seg.ack;
                 s.rto_us = INITIAL_RTO_US;
                 s.peer_window = seg.window;

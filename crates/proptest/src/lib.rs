@@ -1,0 +1,118 @@
+//! A minimal, dependency-free stand-in for the subset of `proptest` used
+//! by this workspace's property tests.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the pieces it needs: the [`proptest!`] macro (both the
+//! `name: Type` and `name in strategy` binding forms, plus
+//! `#![proptest_config(..)]`), the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! [`strategy::Just`], ranges and tuples as strategies,
+//! [`collection::vec`], [`prop_oneof!`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: sampling is plain pseudo-random with a
+//! seed derived from the test name (deterministic run to run), there is
+//! **no shrinking**, and failures panic like ordinary assertions.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Run-count configuration (`#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property-test module normally imports.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The property-test macro. Supports the two binding forms
+/// (`name: Type` and `name in strategy`) and an optional leading
+/// `#![proptest_config(expr)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@tests ($cfg) $($rest)*}
+    };
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr) #[test] fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::proptest!{@bind __rng, [$($params)*,] $body}
+            }
+        }
+        $crate::proptest!{@tests ($cfg) $($rest)*}
+    };
+    (@bind $rng:ident, [,] $body:block) => { $body };
+    (@bind $rng:ident, [] $body:block) => { $body };
+    (@bind $rng:ident, [$p:ident in $s:expr, $($rest:tt)*] $body:block) => {{
+        let $p = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::proptest!{@bind $rng, [$($rest)*] $body}
+    }};
+    (@bind $rng:ident, [$p:ident: $ty:ty, $($rest:tt)*] $body:block) => {{
+        let $p: $ty = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::proptest!{@bind $rng, [$($rest)*] $body}
+    }};
+    ($($rest:tt)*) => {
+        $crate::proptest!{@tests ($crate::ProptestConfig::default()) $($rest)*}
+    };
+}
+
+/// Panic unless the condition holds (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Panic unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Panic if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

@@ -1,0 +1,66 @@
+//! The deterministic PRNG behind the shimmed test runner.
+
+/// A xoshiro256**-style PRNG seeded from the test name, so every run of a
+/// property test draws the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (FNV-1a over the bytes).
+    pub fn deterministic(label: &str) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in label.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::from_seed(h)
+    }
+
+    /// Seeds from a 64-bit value.
+    pub fn from_seed(seed: u64) -> TestRng {
+        let mut st = seed;
+        TestRng {
+            s: core::array::from_fn(|_| splitmix64(&mut st)),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 128 random bits.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform value in `[0, bound)`; `bound == 0` means the full domain.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        let v = self.next_u128();
+        if bound == 0 {
+            v
+        } else {
+            v % bound
+        }
+    }
+}

@@ -49,7 +49,7 @@ impl Cond {
         }
     }
 
-    fn holds(self, r: &Registers) -> bool {
+    pub(crate) fn holds(self, r: &Registers) -> bool {
         match self {
             Cond::Nz => !r.flag(Flags::Z),
             Cond::Z => r.flag(Flags::Z),
@@ -61,6 +61,20 @@ impl Cond {
             Cond::M => r.flag(Flags::S),
         }
     }
+}
+
+/// Which execution engine drives the simulation.
+///
+/// Both engines are architecturally and cycle-count identical (enforced
+/// by the differential test suite); they differ only in host speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Fetch–decode–execute one instruction at a time ([`Cpu::step`]).
+    Interpreter,
+    /// Predecoded basic blocks with an invalidation-tracked cache
+    /// ([`Cpu::run_fast`]).
+    #[default]
+    BlockCache,
 }
 
 /// A fault raised by instruction execution.
@@ -93,7 +107,7 @@ impl std::error::Error for Fault {}
 
 /// Which I/O space a prefixed access targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IoPrefix {
+pub(crate) enum IoPrefix {
     Internal,
     External,
 }
@@ -108,7 +122,13 @@ pub struct Cpu {
     pub halted: bool,
     /// Total clock cycles executed.
     pub cycles: u64,
-    io_prefix: Option<IoPrefix>,
+    /// Total instructions retired (interrupt dispatches and `halt` idle
+    /// cycles are not instructions and are not counted).
+    pub instructions: u64,
+    pub(crate) io_prefix: Option<IoPrefix>,
+    /// Block cache for [`Cpu::run_fast`]; created lazily on first use and
+    /// boxed so the plain interpreter pays nothing for it.
+    pub(crate) engine: Option<Box<crate::exec::ExecEngine>>,
 }
 
 impl Cpu {
@@ -119,7 +139,9 @@ impl Cpu {
             mmu: Mmu::new(),
             halted: false,
             cycles: 0,
+            instructions: 0,
             io_prefix: None,
+            engine: None,
         }
     }
 
@@ -200,17 +222,20 @@ impl Cpu {
 
     // ---- flag helpers -------------------------------------------------
 
-    fn set_sz(&mut self, v: u8) {
+    #[inline]
+    pub(crate) fn set_sz(&mut self, v: u8) {
         self.regs.set_flag(Flags::S, v & 0x80 != 0);
         self.regs.set_flag(Flags::Z, v == 0);
     }
 
-    fn set_parity(&mut self, v: u8) {
+    #[inline]
+    pub(crate) fn set_parity(&mut self, v: u8) {
         self.regs
             .set_flag(Flags::PV, v.count_ones().is_multiple_of(2));
     }
 
-    fn add8(&mut self, b: u8, carry: bool) {
+    #[inline]
+    pub(crate) fn add8(&mut self, b: u8, carry: bool) {
         let a = self.regs.a;
         let c = u16::from(carry && self.regs.flag(Flags::C));
         let r = u16::from(a) + u16::from(b) + c;
@@ -225,7 +250,8 @@ impl Cpu {
         self.regs.a = res;
     }
 
-    fn sub8(&mut self, b: u8, carry: bool, store: bool) {
+    #[inline]
+    pub(crate) fn sub8(&mut self, b: u8, carry: bool, store: bool) {
         let a = self.regs.a;
         let c = u16::from(carry && self.regs.flag(Flags::C));
         let r = u16::from(a).wrapping_sub(u16::from(b)).wrapping_sub(c);
@@ -242,7 +268,8 @@ impl Cpu {
         }
     }
 
-    fn logic8(&mut self, res: u8, half: bool) {
+    #[inline]
+    pub(crate) fn logic8(&mut self, res: u8, half: bool) {
         self.regs.a = res;
         self.regs.set_flag(Flags::C, false);
         self.regs.set_flag(Flags::H, half);
@@ -251,7 +278,8 @@ impl Cpu {
         self.set_sz(res);
     }
 
-    fn inc8val(&mut self, v: u8) -> u8 {
+    #[inline]
+    pub(crate) fn inc8val(&mut self, v: u8) -> u8 {
         let res = v.wrapping_add(1);
         self.regs.set_flag(Flags::H, v & 0xF == 0xF);
         self.regs.set_flag(Flags::PV, v == 0x7F);
@@ -260,7 +288,8 @@ impl Cpu {
         res
     }
 
-    fn dec8val(&mut self, v: u8) -> u8 {
+    #[inline]
+    pub(crate) fn dec8val(&mut self, v: u8) -> u8 {
         let res = v.wrapping_sub(1);
         self.regs.set_flag(Flags::H, v & 0xF == 0);
         self.regs.set_flag(Flags::PV, v == 0x80);
@@ -269,7 +298,8 @@ impl Cpu {
         res
     }
 
-    fn add16(&mut self, a: u16, b: u16) -> u16 {
+    #[inline]
+    pub(crate) fn add16(&mut self, a: u16, b: u16) -> u16 {
         let r = u32::from(a) + u32::from(b);
         self.regs.set_flag(Flags::C, r > 0xFFFF);
         self.regs
@@ -278,7 +308,8 @@ impl Cpu {
         r as u16
     }
 
-    fn adc16(&mut self, a: u16, b: u16) -> u16 {
+    #[inline]
+    pub(crate) fn adc16(&mut self, a: u16, b: u16) -> u16 {
         let c = u32::from(self.regs.flag(Flags::C));
         let r = u32::from(a) + u32::from(b) + c;
         let res = r as u16;
@@ -291,7 +322,8 @@ impl Cpu {
         res
     }
 
-    fn sbc16(&mut self, a: u16, b: u16) -> u16 {
+    #[inline]
+    pub(crate) fn sbc16(&mut self, a: u16, b: u16) -> u16 {
         let c = u32::from(self.regs.flag(Flags::C));
         let r = u32::from(a).wrapping_sub(u32::from(b)).wrapping_sub(c);
         let res = r as u16;
@@ -304,7 +336,8 @@ impl Cpu {
         res
     }
 
-    fn rot8(&mut self, op: u8, v: u8) -> u8 {
+    #[inline]
+    pub(crate) fn rot8(&mut self, op: u8, v: u8) -> u8 {
         let carry_in = self.regs.flag(Flags::C);
         let (res, carry) = match op {
             0 => (v.rotate_left(1), v & 0x80 != 0),              // rlc
@@ -326,11 +359,11 @@ impl Cpu {
 
     // ---- interrupt handling -------------------------------------------
 
-    fn ipset(&mut self, priority: u8) {
+    pub(crate) fn ipset(&mut self, priority: u8) {
         self.regs.ip = (self.regs.ip << 2) | (priority & 3);
     }
 
-    fn ipres(&mut self) {
+    pub(crate) fn ipres(&mut self) {
         self.regs.ip = self.regs.ip.rotate_right(2);
     }
 
@@ -381,6 +414,7 @@ impl Cpu {
         let op = self.fetch8(mem);
         let cycles = self.exec(op, pc0, mem, io)?;
         self.cycles += u64::from(cycles);
+        self.instructions += 1;
         io.tick(u64::from(cycles));
         Ok(cycles)
     }
@@ -404,6 +438,26 @@ impl Cpu {
             self.step(mem, io)?;
         }
         Ok(self.cycles - start)
+    }
+
+    /// Runs on the chosen [`Engine`]. Both engines produce identical
+    /// architectural state and cycle counts; see `exec` for the
+    /// block-caching engine's exactness contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::run`].
+    pub fn run_on<I: IoSpace + ?Sized>(
+        &mut self,
+        engine: Engine,
+        mem: &mut Memory,
+        io: &mut I,
+        max_cycles: u64,
+    ) -> Result<u64, Fault> {
+        match engine {
+            Engine::Interpreter => self.run(mem, io, max_cycles),
+            Engine::BlockCache => self.run_fast(mem, io, max_cycles),
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -855,7 +909,8 @@ impl Cpu {
         Ok(cycles)
     }
 
-    fn alu(&mut self, code: u8, v: u8) {
+    #[inline]
+    pub(crate) fn alu(&mut self, code: u8, v: u8) {
         match code {
             0 => self.add8(v, false),
             1 => self.add8(v, true),

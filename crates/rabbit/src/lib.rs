@@ -52,13 +52,14 @@
 pub mod asm;
 pub mod cpu;
 pub mod disasm;
+pub mod exec;
 pub mod io;
 pub mod isa;
 pub mod mem;
 pub mod registers;
 
 pub use asm::{assemble, AsmError, Image, Section};
-pub use cpu::{Cond, Cpu, Fault};
+pub use cpu::{Cond, Cpu, Engine, Fault};
 pub use disasm::{disassemble, listing, Decoded};
 pub use io::{Interrupt, IoSpace, NullIo};
 pub use mem::{Memory, Mmu};

@@ -86,6 +86,49 @@ impl Mmu {
             u32::from(addr)
         }
     }
+
+    /// Compiles the current mapping (plus an `XPC` value) into a
+    /// [`SegMap`]: a per-4-KiB-page offset table that translates with one
+    /// indexed add instead of the three-way segment compare chain.
+    ///
+    /// All four segment boundaries are 4 KiB aligned (the `SEGSIZE`
+    /// nibbles and the xmem window base), so a page-granular table is
+    /// exact. The map is a snapshot: it must be rebuilt when any of
+    /// `SEGSIZE`/`DATASEG`/`STACKSEG`/`XPC` change.
+    pub fn seg_map(&self, xpc: u8) -> SegMap {
+        let data_page = u16::from(self.segsize & 0x0F);
+        let stack_page = u16::from(self.segsize >> 4);
+        let mut offsets = [0u32; 16];
+        for (page, off) in offsets.iter_mut().enumerate() {
+            let page = page as u16;
+            *off = if page >= (XMEM_WINDOW >> 12) {
+                u32::from(xpc) * 0x1000
+            } else if page >= stack_page {
+                u32::from(self.stackseg) * 0x1000
+            } else if page >= data_page {
+                u32::from(self.dataseg) * 0x1000
+            } else {
+                0
+            };
+        }
+        SegMap { offsets }
+    }
+}
+
+/// A compiled per-segment translation cache: one physical offset per
+/// 4 KiB logical page, derived from an [`Mmu`] snapshot and an `XPC`
+/// value by [`Mmu::seg_map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegMap {
+    offsets: [u32; 16],
+}
+
+impl SegMap {
+    /// Translates a logical address under the snapshotted mapping.
+    #[inline]
+    pub fn translate(&self, addr: u16) -> u32 {
+        u32::from(addr).wrapping_add(self.offsets[usize::from(addr >> 12)]) & (PHYS_SIZE as u32 - 1)
+    }
 }
 
 impl Default for Mmu {
@@ -104,19 +147,63 @@ pub struct Memory {
     /// Count of stores that targeted flash and were dropped; useful for
     /// catching firmware bugs in tests.
     pub flash_write_faults: u64,
+    /// Monotonic counter bumped on every mutation of RAM contents (SRAM
+    /// stores and [`Memory::load`]). The block-caching engine compares it
+    /// against the value it last saw to detect writes that happened while
+    /// it was not watching. Dropped flash stores do not bump it: they
+    /// change no bytes, so cached code stays valid.
+    pub(crate) store_epoch: u64,
+    /// When set, every mutated 256-byte physical page is appended to
+    /// [`Memory::dirty_pages`] so the execution engine can invalidate
+    /// cached code. Off by default: the plain interpreter pays nothing.
+    pub(crate) track_dirty: bool,
+    /// Pages (physical address `>> 8`) mutated since the engine last
+    /// drained the list. May contain duplicates.
+    pub(crate) dirty_pages: Vec<u16>,
+    /// Bitset of pages holding cached code, mirrored from the execution
+    /// engine. Acts as a store-side filter: writes to pages with no
+    /// cached code skip dirty tracking entirely, which keeps the common
+    /// data store as cheap as in the plain interpreter.
+    pub(crate) code_pages: [u64; 64],
+    /// Process-unique identity so a cached engine can tell two `Memory`
+    /// instances apart (a fresh memory restarts the epoch counter).
+    pub(crate) mem_id: u64,
 }
 
 impl Memory {
     /// Creates memory with erased flash (all `0xFF`) and zeroed SRAM.
     pub fn new() -> Memory {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
         Memory {
             flash: vec![0xFF; FLASH_SIZE],
             sram: vec![0; SRAM_SIZE],
             flash_write_faults: 0,
+            store_epoch: 0,
+            track_dirty: false,
+            dirty_pages: Vec::new(),
+            code_pages: [0; 64],
+            mem_id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, phys: u32) {
+        self.store_epoch = self.store_epoch.wrapping_add(1);
+        if self.track_dirty {
+            let page = (phys >> 8) as u16;
+            // Only pages that hold cached code matter; everything else
+            // (the overwhelmingly common case) skips the list.
+            if self.code_pages[(page >> 6) as usize] & (1 << (page & 63)) != 0
+                && self.dirty_pages.last() != Some(&page)
+            {
+                self.dirty_pages.push(page);
+            }
         }
     }
 
     /// Reads one byte of physical memory.
+    #[inline]
     pub fn read_phys(&self, phys: u32) -> u8 {
         let p = phys as usize;
         if p < FLASH_SIZE {
@@ -130,31 +217,73 @@ impl Memory {
 
     /// Writes one byte of physical memory. Stores to flash are dropped and
     /// counted in [`Memory::flash_write_faults`].
+    #[inline]
     pub fn write_phys(&mut self, phys: u32, v: u8) {
         let p = phys as usize;
         if p < FLASH_SIZE {
             self.flash_write_faults += 1;
         } else if p < FLASH_SIZE + SRAM_SIZE {
             self.sram[p - FLASH_SIZE] = v;
+            self.mark_dirty(phys);
         }
     }
 
     /// Loads an image at a physical address, bypassing flash write
     /// protection (this models the development kit's programming port).
+    ///
+    /// Copies whole populated sub-ranges at once rather than byte by byte;
+    /// a load may straddle the flash/SRAM boundary or run off the end of
+    /// populated memory (the excess is dropped, like the floating bus).
     pub fn load(&mut self, phys: u32, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            let p = phys as usize + i;
-            if p < FLASH_SIZE {
-                self.flash[p] = b;
-            } else if p < FLASH_SIZE + SRAM_SIZE {
-                self.sram[p - FLASH_SIZE] = b;
+        let start = phys as usize;
+        let end = start.saturating_add(bytes.len());
+
+        // Flash portion.
+        if start < FLASH_SIZE {
+            let n = bytes.len().min(FLASH_SIZE - start);
+            self.flash[start..start + n].copy_from_slice(&bytes[..n]);
+        }
+        // SRAM portion.
+        let sram_end = FLASH_SIZE + SRAM_SIZE;
+        if end > FLASH_SIZE && start < sram_end {
+            let lo = start.max(FLASH_SIZE);
+            let hi = end.min(sram_end);
+            let src = lo - start;
+            self.sram[lo - FLASH_SIZE..hi - FLASH_SIZE]
+                .copy_from_slice(&bytes[src..src + (hi - lo)]);
+        }
+
+        // A load rewrites arbitrary code, including flash: bump the epoch
+        // so a cached engine does a full flush, and record pages when
+        // tracking is live.
+        self.store_epoch = self.store_epoch.wrapping_add(1);
+        if self.track_dirty && !bytes.is_empty() {
+            for page in (phys >> 8)..=((end.saturating_sub(1)) as u32 >> 8) {
+                self.dirty_pages.push(page as u16);
             }
         }
     }
 
     /// Copies `len` bytes starting at a physical address into a vector.
+    ///
+    /// Bulk-copies the populated sub-ranges; unpopulated space reads as
+    /// `0xFF` like the floating bus.
     pub fn dump(&self, phys: u32, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_phys(phys + i as u32)).collect()
+        let mut out = vec![0xFF; len];
+        let start = phys as usize;
+        let end = start.saturating_add(len);
+
+        if start < FLASH_SIZE {
+            let n = len.min(FLASH_SIZE - start);
+            out[..n].copy_from_slice(&self.flash[start..start + n]);
+        }
+        let sram_end = FLASH_SIZE + SRAM_SIZE;
+        if end > FLASH_SIZE && start < sram_end {
+            let lo = start.max(FLASH_SIZE);
+            let hi = end.min(sram_end);
+            out[lo - start..hi - start].copy_from_slice(&self.sram[lo - FLASH_SIZE..hi - FLASH_SIZE]);
+        }
+        out
     }
 }
 
@@ -226,5 +355,95 @@ mod tests {
         let mut mem = Memory::new();
         mem.write_phys(0xF0000, 1);
         assert_eq!(mem.read_phys(0xF0000), 0xFF);
+    }
+
+    #[test]
+    fn load_straddles_flash_sram_boundary() {
+        let mut mem = Memory::new();
+        let img: Vec<u8> = (0..=255u8).cycle().take(0x40).collect();
+        mem.load(SRAM_BASE - 0x20, &img);
+        for (i, &b) in img.iter().enumerate() {
+            assert_eq!(mem.read_phys(SRAM_BASE - 0x20 + i as u32), b, "byte {i}");
+        }
+        assert_eq!(mem.dump(SRAM_BASE - 0x20, 0x40), img);
+    }
+
+    #[test]
+    fn load_and_dump_straddle_end_of_populated_memory() {
+        let mut mem = Memory::new();
+        let top = SRAM_BASE + SRAM_SIZE as u32;
+        // Last 4 bytes land in SRAM, the rest falls off the end.
+        mem.load(top - 4, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(mem.dump(top - 4, 8), vec![1, 2, 3, 4, 0xFF, 0xFF, 0xFF, 0xFF]);
+    }
+
+    #[test]
+    fn dump_entirely_outside_populated_memory() {
+        let mem = Memory::new();
+        assert_eq!(mem.dump(0xF0000, 3), vec![0xFF; 3]);
+    }
+
+    #[test]
+    fn seg_map_matches_translate() {
+        // Every page of a handful of mapping configurations must agree
+        // with the reference three-way compare chain.
+        let configs = [
+            (0xDD, 0x00, 0x00, 0x00),
+            (0xD8, 0x78, 0x78, 0x72),
+            (0xE5, 0x80, 0x7F, 0xFF),
+            (0x4A, 0x12, 0x9C, 0x33),
+            (0x00, 0xFF, 0xFF, 0x01),
+            (0xFF, 0x01, 0x02, 0x03),
+        ];
+        for (segsize, dataseg, stackseg, xpc) in configs {
+            let mmu = Mmu {
+                segsize,
+                dataseg,
+                stackseg,
+            };
+            let map = mmu.seg_map(xpc);
+            for page in 0..16u32 {
+                for off in [0u32, 1, 0x7FF, 0xFFF] {
+                    let addr = (page * 0x1000 + off) as u16;
+                    assert_eq!(
+                        map.translate(addr),
+                        mmu.translate(addr, xpc),
+                        "addr {addr:#06x} cfg {segsize:#x}/{dataseg:#x}/{stackseg:#x}/{xpc:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sram_stores_bump_epoch_and_record_pages_when_tracked() {
+        let mut mem = Memory::new();
+        let e0 = mem.store_epoch;
+        mem.write_phys(0x100, 0xAB); // flash: dropped, no epoch bump
+        assert_eq!(mem.store_epoch, e0);
+        mem.write_phys(SRAM_BASE, 1);
+        assert_eq!(mem.store_epoch, e0 + 1);
+        assert!(mem.dirty_pages.is_empty(), "tracking off by default");
+
+        mem.track_dirty = true;
+        // Mark both target pages as holding cached code; stores to pages
+        // without the bit are filtered out before they reach the list.
+        for page in [
+            ((SRAM_BASE + 0x100) >> 8) as u16,
+            ((SRAM_BASE + 0x300) >> 8) as u16,
+        ] {
+            mem.code_pages[(page >> 6) as usize] |= 1 << (page & 63);
+        }
+        mem.write_phys(SRAM_BASE + 0x123, 2);
+        mem.write_phys(SRAM_BASE + 0x124, 3); // same page, deduped
+        mem.write_phys(SRAM_BASE + 0x400, 4); // no code bit: filtered
+        mem.write_phys(SRAM_BASE + 0x300, 5);
+        assert_eq!(
+            mem.dirty_pages,
+            vec![
+                ((SRAM_BASE + 0x100) >> 8) as u16,
+                ((SRAM_BASE + 0x300) >> 8) as u16
+            ]
+        );
     }
 }

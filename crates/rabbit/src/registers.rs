@@ -152,6 +152,7 @@ impl Registers {
     }
 
     /// Reads an 8-bit register.
+    #[inline]
     pub fn get8(&self, r: Reg8) -> u8 {
         match r {
             Reg8::A => self.a,
@@ -165,6 +166,7 @@ impl Registers {
     }
 
     /// Writes an 8-bit register.
+    #[inline]
     pub fn set8(&mut self, r: Reg8, v: u8) {
         match r {
             Reg8::A => self.a = v,
@@ -178,6 +180,7 @@ impl Registers {
     }
 
     /// Reads a 16-bit register pair.
+    #[inline]
     pub fn get16(&self, r: Reg16) -> u16 {
         match r {
             Reg16::Bc => u16::from_be_bytes([self.b, self.c]),
@@ -191,6 +194,7 @@ impl Registers {
     }
 
     /// Writes a 16-bit register pair.
+    #[inline]
     pub fn set16(&mut self, r: Reg16, v: u16) {
         let [hi, lo] = v.to_be_bytes();
         match r {

@@ -124,20 +124,23 @@ impl Board {
     pub fn step(&mut self) -> Option<RunOutcome> {
         match self.cpu.step(&mut self.mem, &mut self.io) {
             Ok(_) => None,
-            Err(Fault::InvalidOpcode { pc, opcode }) => {
-                let info = ErrorInfo {
-                    kind: ErrorKind::InvalidOpcode,
-                    address: pc,
-                    aux: u16::from(opcode),
-                };
-                match self.errors.raise(info) {
-                    Disposition::Ignore => None, // skip and continue, as the paper's port did
-                    Disposition::Halt => Some(RunOutcome::HandlerHalt),
-                    Disposition::Reset => {
-                        self.reset();
-                        Some(RunOutcome::HandlerReset)
-                    }
-                }
+            Err(fault) => self.route_fault(fault),
+        }
+    }
+
+    fn route_fault(&mut self, fault: Fault) -> Option<RunOutcome> {
+        let Fault::InvalidOpcode { pc, opcode } = fault;
+        let info = ErrorInfo {
+            kind: ErrorKind::InvalidOpcode,
+            address: pc,
+            aux: u16::from(opcode),
+        };
+        match self.errors.raise(info) {
+            Disposition::Ignore => None, // skip and continue, as the paper's port did
+            Disposition::Halt => Some(RunOutcome::HandlerHalt),
+            Disposition::Reset => {
+                self.reset();
+                Some(RunOutcome::HandlerReset)
             }
         }
     }
@@ -153,6 +156,11 @@ impl Board {
     }
 
     /// Runs until halt, fault-handler stop, or the cycle budget runs out.
+    ///
+    /// Execution goes through the block-caching engine
+    /// ([`Cpu::run_fast`]); waiting in `halt` for an interrupt falls back
+    /// to single-stepping so wake-up priority checks behave exactly as
+    /// before.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let start = self.cpu.cycles;
         loop {
@@ -162,7 +170,16 @@ impl Board {
             if self.cpu.cycles - start >= max_cycles {
                 return RunOutcome::BudgetExhausted;
             }
-            if let Some(outcome) = self.step() {
+            let outcome = if self.cpu.halted {
+                self.step()
+            } else {
+                let left = max_cycles - (self.cpu.cycles - start);
+                match self.cpu.run_fast(&mut self.mem, &mut self.io, left) {
+                    Ok(_) => None,
+                    Err(fault) => self.route_fault(fault),
+                }
+            };
+            if let Some(outcome) = outcome {
                 if outcome != RunOutcome::HandlerReset {
                     return outcome;
                 }
