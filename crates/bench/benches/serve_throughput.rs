@@ -1,0 +1,40 @@
+//! Serving throughput of the sans-I/O event loop: host wall-clock per
+//! complete mass-concurrency load run (N concurrent handshake+echo
+//! sessions through one readiness-driven server), plus the virtual-time
+//! sessions/sec and handshake-latency numbers EXPERIMENTS.md quotes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use issl::serve::run_load;
+use issl::LoadSpec;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for n in [10usize, 100] {
+        group.bench_function(format!("sessions_{n}"), |b| {
+            b.iter(|| {
+                let report = run_load(&LoadSpec::concurrency(n));
+                assert_eq!(report.completed, n);
+                report
+            });
+        });
+    }
+    group.finish();
+
+    // The EXPERIMENTS.md table: virtual-time serving metrics per N.
+    println!("event-loop serving (PSK AES-128/128, 256-byte echo):");
+    for n in [10usize, 100, 1000] {
+        let report = run_load(&LoadSpec::concurrency(n));
+        assert_eq!(report.completed, n, "all sessions complete at N={n}");
+        println!(
+            "  N={n:4}: {:8.1} sessions/sec, handshake p50={}us p99={}us, {}us virtual",
+            report.sessions_per_sec(),
+            report.handshake_percentile_us(50.0),
+            report.handshake_percentile_us(99.0),
+            report.elapsed_us,
+        );
+    }
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

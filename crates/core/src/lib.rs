@@ -29,16 +29,20 @@ pub mod fs;
 pub mod host;
 pub mod kdf;
 pub mod log;
+pub mod machine;
 pub mod record;
 pub mod rmc;
+pub mod serve;
 pub mod session;
 pub mod wire;
 
 pub use fs::Filesystem;
 pub use host::ComputeCost;
 pub use log::{CircularLog, FileLog, Log};
+pub use machine::SessionMachine;
 pub use record::{Record, RecordError, RecordType, MAX_RECORD};
+pub use serve::{EventLoop, LoadSpec, ServeReport};
 pub use session::{
     CipherSuite, ClientConfig, ClientKx, IsslError, ServerConfig, ServerKx, Session,
 };
-pub use wire::{BsdWire, DynicWire, Wire, WireError};
+pub use wire::{suite_from_bytes, suite_to_bytes, BsdWire, DynicWire, Wire, WireError};

@@ -21,7 +21,7 @@ pub enum RecordType {
 }
 
 impl RecordType {
-    fn to_byte(self) -> u8 {
+    pub(crate) fn to_byte(self) -> u8 {
         match self {
             RecordType::ClientHello => 1,
             RecordType::ServerHello => 2,
@@ -32,7 +32,7 @@ impl RecordType {
         }
     }
 
-    fn from_byte(b: u8) -> Option<RecordType> {
+    pub(crate) fn from_byte(b: u8) -> Option<RecordType> {
         Some(match b {
             1 => RecordType::ClientHello,
             2 => RecordType::ServerHello,

@@ -195,8 +195,13 @@ pub fn spawn_rmc_server(
                     log.log(&format!("handler {idx}: listen failed"));
                     return;
                 }
-                // waitfor(sock_established(&socket)) — Figure 3 verbatim.
-                co.waitfor(|| stack.sock_established(sock) || stats.stop.load(Ordering::SeqCst));
+                // waitfor(sock_established(&socket)) — Figure 3's shape,
+                // rebased on the readiness primitive: accept-ready on a
+                // Dynamic C listen slot is exactly "the slot was handed
+                // its connection and the handshake finished".
+                co.waitfor(|| {
+                    stack.sock_readiness(sock).accept_ready || stats.stop.load(Ordering::SeqCst)
+                });
                 if stats.stop.load(Ordering::SeqCst) {
                     stack.sock_close(sock);
                     return;

@@ -1,0 +1,541 @@
+//! Event-driven mass-concurrency serving: one loop multiplexing many
+//! sans-I/O [`SessionMachine`]s over one simulated world.
+//!
+//! This is the architecture the blocking profiles cannot reach. The host
+//! profile forks a `UnixProcess` per connection and pseudo-blocks inside
+//! every read; the RMC profile is authentically capped at three handler
+//! costatements. The [`EventLoop`] instead reacts to netsim's per-socket
+//! events ([`netsim::SocketEvent`]) — accept-ready, bytes-ready,
+//! window-open, peer-closed — so each iteration touches only the sockets
+//! that changed, O(ready) rather than O(connections).
+//!
+//! [`run_load`] is the deterministic load generator: N concurrent echo
+//! clients against one in-loop echo server, reporting sessions/sec and
+//! handshake-latency percentiles in virtual time.
+
+use std::collections::HashMap;
+
+use crypto::Prng;
+use netsim::{Endpoint, HostId, Ipv4, LinkParams, Recv, SocketEvent, SocketId};
+use sockets::Net;
+
+use crate::machine::SessionMachine;
+use crate::session::{ClientConfig, ClientKx, ServerConfig, ServerKx};
+
+/// What a multiplexed connection is doing.
+enum ConnKind {
+    /// Server side: echo every decrypted byte back, encrypted.
+    Echo,
+    /// Load-generator client: handshake, send `payload`, expect it back.
+    Client {
+        payload: Vec<u8>,
+        received: Vec<u8>,
+        sent: bool,
+        hs_start_us: u64,
+        hs_done_us: Option<u64>,
+    },
+}
+
+/// One multiplexed connection: a sans-I/O machine plus transmit state.
+struct Conn {
+    machine: SessionMachine,
+    kind: ConnKind,
+    /// Machine output the TCP send buffer has not yet accepted.
+    out_pending: Vec<u8>,
+    /// Close once `out_pending` drains.
+    want_close: bool,
+}
+
+/// A listener: every accepted connection becomes an echo server session.
+struct Listener {
+    config: ServerConfig,
+    seed: u64,
+    accepted: u64,
+}
+
+/// Outcome counters and latency samples for completed client sessions.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Client sessions that completed handshake + echo round-trip.
+    pub completed: usize,
+    /// Client sessions that failed (protocol error, reset, premature
+    /// close).
+    pub failed: usize,
+    /// Virtual time the run consumed, in microseconds.
+    pub elapsed_us: u64,
+    /// Handshake latencies (connect → issl Finished verified) of
+    /// completed sessions, in virtual microseconds, unsorted.
+    pub handshake_us: Vec<u64>,
+}
+
+impl ServeReport {
+    /// Completed sessions per virtual second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.elapsed_us as f64 / 1_000_000.0)
+    }
+
+    /// The `p`-th percentile handshake latency in virtual microseconds
+    /// (nearest-rank; 0 when no session completed).
+    pub fn handshake_percentile_us(&self, p: f64) -> u64 {
+        if self.handshake_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.handshake_us.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+/// An event-driven server/load loop over one [`Net`].
+pub struct EventLoop {
+    net: Net,
+    listeners: HashMap<SocketId, Listener>,
+    conns: HashMap<SocketId, Conn>,
+    clients_spawned: usize,
+    completed: usize,
+    failed: usize,
+    handshake_us: Vec<u64>,
+    started_us: u64,
+}
+
+impl EventLoop {
+    /// Creates the loop and switches the world to event-driven
+    /// notification.
+    pub fn new(net: &Net) -> EventLoop {
+        net.with(|w| w.enable_socket_events());
+        let started_us = net.now();
+        EventLoop {
+            net: net.clone(),
+            listeners: HashMap::new(),
+            conns: HashMap::new(),
+            clients_spawned: 0,
+            completed: 0,
+            failed: 0,
+            handshake_us: Vec::new(),
+            started_us,
+        }
+    }
+
+    /// Opens an issl echo listener: every accepted connection runs the
+    /// server handshake (seeded deterministically per connection) and
+    /// echoes decrypted data back encrypted.
+    ///
+    /// # Errors
+    ///
+    /// [`netsim::NetError`] if the port is taken.
+    pub fn listen_echo(
+        &mut self,
+        host: HostId,
+        port: u16,
+        backlog: usize,
+        config: ServerConfig,
+        seed: u64,
+    ) -> Result<SocketId, netsim::NetError> {
+        let sid = self.net.with(|w| w.tcp_listen(host, port, backlog))?;
+        self.listeners.insert(
+            sid,
+            Listener {
+                config,
+                seed,
+                accepted: 0,
+            },
+        );
+        Ok(sid)
+    }
+
+    /// Starts a load-generator client: connect, handshake, send
+    /// `payload`, expect it echoed back, close.
+    pub fn connect_echo_client(
+        &mut self,
+        host: HostId,
+        server: Endpoint,
+        config: ClientConfig,
+        payload: Vec<u8>,
+        seed: u64,
+    ) -> SocketId {
+        let sid = self.net.with(|w| w.tcp_connect(host, server));
+        let machine = SessionMachine::client(config, Prng::new(seed));
+        let hs_start_us = self.net.now();
+        self.conns.insert(
+            sid,
+            Conn {
+                machine,
+                kind: ConnKind::Client {
+                    payload,
+                    received: Vec::new(),
+                    sent: false,
+                    hs_start_us,
+                    hs_done_us: None,
+                },
+                out_pending: Vec::new(),
+                want_close: false,
+            },
+        );
+        self.clients_spawned += 1;
+        sid
+    }
+
+    /// Client sessions still in flight.
+    pub fn clients_pending(&self) -> usize {
+        self.clients_spawned - self.completed - self.failed
+    }
+
+    /// Drives the world until every spawned client finished, the event
+    /// queue goes idle, or virtual time reaches `deadline_us`.
+    pub fn run(&mut self, deadline_us: u64) {
+        loop {
+            self.dispatch();
+            if self.clients_spawned > 0 && self.clients_pending() == 0 {
+                break;
+            }
+            if self.net.now() >= deadline_us {
+                break;
+            }
+            if !self.net.step() {
+                self.dispatch();
+                break;
+            }
+        }
+    }
+
+    /// The outcome so far.
+    pub fn report(&self) -> ServeReport {
+        ServeReport {
+            completed: self.completed,
+            failed: self.failed,
+            elapsed_us: self.net.now() - self.started_us,
+            handshake_us: self.handshake_us.clone(),
+        }
+    }
+
+    /// Drains pending socket events and reacts to exactly those sockets.
+    fn dispatch(&mut self) {
+        loop {
+            let events = self.net.with(|w| w.take_socket_events());
+            if events.is_empty() {
+                return;
+            }
+            for ev in events {
+                match ev {
+                    SocketEvent::AcceptReady(listener) => self.on_accept_ready(listener),
+                    SocketEvent::Established(sid) => {
+                        if self.conns.contains_key(&sid) {
+                            self.flush(sid);
+                        }
+                    }
+                    SocketEvent::BytesReady(sid) | SocketEvent::PeerClosed(sid) => {
+                        if self.conns.contains_key(&sid) {
+                            self.pump(sid);
+                        }
+                    }
+                    SocketEvent::WindowOpen(sid) => {
+                        if self.conns.contains_key(&sid) {
+                            self.flush(sid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_accept_ready(&mut self, listener_id: SocketId) {
+        loop {
+            let Some(listener) = self.listeners.get_mut(&listener_id) else {
+                return;
+            };
+            let Some(conn) = self.net.with(|w| w.tcp_accept(listener_id)) else {
+                return;
+            };
+            // Deterministic per-connection seed: listener seed mixed with
+            // the accept ordinal (splitmix64 finalizer).
+            let mut z = listener
+                .seed
+                .wrapping_add(listener.accepted.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            listener.accepted += 1;
+            let machine = SessionMachine::server(listener.config.clone(), Prng::new(z));
+            self.conns.insert(
+                conn,
+                Conn {
+                    machine,
+                    kind: ConnKind::Echo,
+                    out_pending: Vec::new(),
+                    want_close: false,
+                },
+            );
+            self.pump(conn);
+        }
+    }
+
+    /// Feeds everything the socket has buffered into the machine, reacts
+    /// to new plaintext / handshake completion, then flushes output.
+    fn pump(&mut self, sid: SocketId) {
+        let mut reset = false;
+        let mut eof = false;
+        loop {
+            let avail = self.net.with(|w| w.tcp_available(sid));
+            if avail == 0 {
+                self.net.with(|w| {
+                    let mut probe = [0u8; 0];
+                    match w.tcp_recv(sid, &mut probe) {
+                        Recv::Closed => eof = true,
+                        Recv::Reset => reset = true,
+                        Recv::Data(_) | Recv::WouldBlock => {}
+                    }
+                });
+                break;
+            }
+            let mut buf = vec![0u8; avail];
+            let n = self.net.with(|w| match w.tcp_recv(sid, &mut buf) {
+                Recv::Data(n) => n,
+                Recv::Closed | Recv::Reset | Recv::WouldBlock => 0,
+            });
+            if n == 0 {
+                break;
+            }
+            let conn = self.conns.get_mut(&sid).expect("pumped conn exists");
+            if conn.machine.feed(&buf[..n]).is_err() {
+                break;
+            }
+        }
+
+        let now = self.net.now();
+        let conn = self.conns.get_mut(&sid).expect("pumped conn exists");
+        if eof {
+            conn.machine.feed_eof();
+        }
+
+        let mut failed = conn.machine.error().is_some() || reset;
+        let mut completed_latency = None;
+        if !failed {
+            match &mut conn.kind {
+                ConnKind::Echo => {
+                    let plain = conn.machine.take_plaintext();
+                    if !plain.is_empty() && conn.machine.write(&plain).is_err() {
+                        failed = true;
+                    } else if conn.machine.is_peer_closed() {
+                        conn.want_close = true;
+                    }
+                }
+                ConnKind::Client {
+                    payload,
+                    received,
+                    sent,
+                    hs_start_us,
+                    hs_done_us,
+                } => {
+                    if conn.machine.is_established() {
+                        if hs_done_us.is_none() {
+                            *hs_done_us = Some(now - *hs_start_us);
+                        }
+                        if !*sent {
+                            *sent = true;
+                            let data = payload.clone();
+                            if conn.machine.write(&data).is_err() {
+                                failed = true;
+                            }
+                        }
+                    }
+                    if !failed {
+                        received.extend(conn.machine.take_plaintext());
+                        if received.len() >= payload.len() && !payload.is_empty() {
+                            if received == payload {
+                                completed_latency = Some(hs_done_us.unwrap_or(0));
+                            } else {
+                                failed = true;
+                            }
+                        } else if conn.machine.is_peer_closed() {
+                            // Peer went away before the echo finished.
+                            failed = true;
+                        }
+                    }
+                }
+            }
+            if completed_latency.is_some() {
+                let _ = conn.machine.close();
+                conn.want_close = true;
+            }
+        }
+
+        if failed {
+            self.fail(sid);
+            return;
+        }
+        if let Some(latency) = completed_latency {
+            self.handshake_us.push(latency);
+            self.completed += 1;
+        }
+        self.flush(sid);
+    }
+
+    /// Moves machine output into the TCP send buffer as far as flow
+    /// control allows; the rest waits for a `WindowOpen` event.
+    fn flush(&mut self, sid: SocketId) {
+        let net = self.net.clone();
+        let Some(conn) = self.conns.get_mut(&sid) else {
+            return;
+        };
+        conn.out_pending.extend(conn.machine.take_output());
+        let mut failed = false;
+        while !conn.out_pending.is_empty() {
+            let room = net.with(|w| w.tcp_send_room(sid));
+            if room == 0 {
+                // Not established yet or flow-controlled: Established /
+                // WindowOpen will retry.
+                return;
+            }
+            match net.with(|w| w.tcp_send(sid, &conn.out_pending)) {
+                Ok(0) => return,
+                Ok(n) => {
+                    conn.out_pending.drain(..n);
+                }
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        let do_close = !failed && conn.want_close && conn.out_pending.is_empty();
+        if failed {
+            self.fail(sid);
+            return;
+        }
+        if do_close {
+            // Completed clients were already counted in pump.
+            self.conns.remove(&sid);
+            let _ = net.with(|w| w.tcp_close(sid));
+        }
+    }
+
+    /// Tears a connection down after an unrecoverable error.
+    fn fail(&mut self, sid: SocketId) {
+        if let Some(conn) = self.conns.remove(&sid) {
+            if matches!(conn.kind, ConnKind::Client { .. }) {
+                self.failed += 1;
+            }
+        }
+        let _ = self.net.with(|w| w.tcp_close(sid));
+    }
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("listeners", &self.listeners.len())
+            .field("conns", &self.conns.len())
+            .field("completed", &self.completed)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+/// Parameters for the deterministic mass-concurrency load run.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client sessions to drive.
+    pub clients: usize,
+    /// World / PRNG seed; identical specs give identical runs.
+    pub seed: u64,
+    /// Echo payload per session, in bytes.
+    pub payload_len: usize,
+    /// Client hosts to spread the sessions across (each gets its own
+    /// link, so this scales aggregate wire bandwidth).
+    pub client_hosts: usize,
+    /// Virtual-time budget in microseconds.
+    pub deadline_us: u64,
+}
+
+impl LoadSpec {
+    /// A deterministic spec for `clients` concurrent sessions.
+    pub fn concurrency(clients: usize) -> LoadSpec {
+        LoadSpec {
+            clients,
+            seed: 7,
+            payload_len: 256,
+            client_hosts: clients.clamp(1, 8),
+            deadline_us: 120_000_000,
+        }
+    }
+}
+
+/// Runs the load generator: `spec.clients` concurrent pre-shared-key
+/// sessions (the RMC suite, AES-128/128) through handshake + echo against
+/// one event-loop server in one deterministic world.
+pub fn run_load(spec: &LoadSpec) -> ServeReport {
+    let psk = b"rmc2000 shared secret".to_vec();
+    let server_cfg = ServerConfig {
+        suites: vec![crate::session::CipherSuite::AES128],
+        kx: ServerKx::PreShared(psk.clone()),
+    };
+    let client_cfg = ClientConfig {
+        suite: crate::session::CipherSuite::AES128,
+        kx: ClientKx::PreShared(psk),
+    };
+
+    let net = Net::new(spec.seed);
+    let server_ip = Ipv4::new(10, 0, 0, 1);
+    let server = net.add_host("server", server_ip);
+    let mut hosts = Vec::new();
+    for i in 0..spec.client_hosts.max(1) {
+        let ip = Ipv4::new(10, 0, 1 + (i / 200) as u8, (2 + i % 200) as u8);
+        let h = net.add_host(&format!("load-{i}"), ip);
+        net.link(server, h, LinkParams::ethernet_10base_t());
+        hosts.push(h);
+    }
+
+    let mut el = EventLoop::new(&net);
+    el.listen_echo(server, 4433, spec.clients.max(16), server_cfg, spec.seed ^ 0x5eed)
+        .expect("listen");
+
+    let payload: Vec<u8> = (0..spec.payload_len).map(|i| (i % 251) as u8).collect();
+    for i in 0..spec.clients {
+        let host = hosts[i % hosts.len()];
+        el.connect_echo_client(
+            host,
+            Endpoint::new(server_ip, 4433),
+            client_cfg.clone(),
+            payload.clone(),
+            spec.seed.wrapping_mul(0x100_0000)
+                .wrapping_add(i as u64),
+        );
+    }
+    el.run(spec.deadline_us);
+    el.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_concurrent_sessions_complete() {
+        let report = run_load(&LoadSpec::concurrency(10));
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.failed, 0);
+        assert!(report.handshake_percentile_us(50.0) > 0);
+    }
+
+    #[test]
+    fn identical_specs_are_deterministic() {
+        let a = run_load(&LoadSpec::concurrency(12));
+        let b = run_load(&LoadSpec::concurrency(12));
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.elapsed_us, b.elapsed_us);
+        assert_eq!(a.handshake_us, b.handshake_us);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let report = run_load(&LoadSpec::concurrency(25));
+        assert_eq!(report.completed, 25);
+        let p50 = report.handshake_percentile_us(50.0);
+        let p99 = report.handshake_percentile_us(99.0);
+        assert!(p50 <= p99);
+    }
+}

@@ -2,6 +2,12 @@
 //! `secure_write` data path (§2: "the issl API allows a user to bind to
 //! the socket and then do secure read/writes on it").
 //!
+//! The protocol logic itself lives in the sans-I/O
+//! [`SessionMachine`](crate::machine::SessionMachine); [`Session`] is the
+//! blocking convenience wrapper that pumps a [`Wire`] through one —
+//! byte-identical to the original blocking implementation (pinned by the
+//! `sans_io_equiv` property tests).
+//!
 //! Two key-exchange modes reflect the two profiles of the case study:
 //!
 //! * [`ServerKx::Rsa`] — the full host-side handshake: the server sends
@@ -11,13 +17,11 @@
 //!   RSA was dropped with its bignum package, so both ends derive session
 //!   keys from a pre-shared secret plus fresh nonces.
 
-use std::collections::VecDeque;
+use crypto::{Prng, Size};
+use rsa::KeyPair;
 
-use crypto::{cbc_decrypt, cbc_encrypt, hmac_sha1, sha1, verify_hmac_sha1, Prng, Rijndael, Size};
-use rsa::{KeyPair, PublicKey};
-
-use crate::kdf::derive_session_keys;
-use crate::record::{read_record, write_record, RecordError, RecordType, MAX_RECORD};
+use crate::machine::SessionMachine;
+use crate::record::RecordError;
 use crate::wire::Wire;
 
 /// Cipher geometry negotiated in the hello exchange.
@@ -125,45 +129,17 @@ pub struct ClientConfig {
     pub kx: ClientKx,
 }
 
-const NONCE_LEN: usize = 16;
-const PREMASTER_LEN: usize = 32;
-/// Payload carried per data record (fits [`MAX_RECORD`] with IV and MAC).
-const FRAGMENT: usize = 1024;
-
-/// An established secure channel over a [`Wire`].
+/// An established secure channel over a [`Wire`]: a [`SessionMachine`]
+/// plus the transport that feeds it.
 pub struct Session<W: Wire> {
     wire: W,
-    enc: Rijndael,
-    dec: Rijndael,
-    mac_out: Vec<u8>,
-    mac_in: Vec<u8>,
-    block_len: usize,
-    seq_out: u64,
-    seq_in: u64,
-    prng: Prng,
-    peer_closed: bool,
-    plain_buf: VecDeque<u8>,
+    machine: SessionMachine,
 }
 
-fn suite_to_bytes(s: CipherSuite) -> [u8; 2] {
-    [s.key.words() as u8, s.block.words() as u8]
-}
-
-fn suite_from_bytes(b: &[u8]) -> Option<CipherSuite> {
-    let key = match b.first()? {
-        4 => Size::Bits128,
-        6 => Size::Bits192,
-        8 => Size::Bits256,
-        _ => return None,
-    };
-    let block = match b.get(1)? {
-        4 => Size::Bits128,
-        6 => Size::Bits192,
-        8 => Size::Bits256,
-        _ => return None,
-    };
-    Some(CipherSuite { key, block })
-}
+/// Transport scratch size for wrapper reads. Reads are greedy — whatever
+/// the wire returns is fed to the machine, which processes exactly as
+/// many records as the blocking path would have.
+const READ_CHUNK: usize = 4096;
 
 impl<W: Wire> Session<W> {
     /// Runs the client side of the handshake and returns the session.
@@ -176,117 +152,11 @@ impl<W: Wire> Session<W> {
     pub fn client_handshake(
         mut wire: W,
         config: &ClientConfig,
-        mut prng: Prng,
+        prng: Prng,
     ) -> Result<Session<W>, IsslError> {
-        let mut transcript = Vec::new();
-
-        // -> ClientHello
-        let mut client_nonce = [0u8; NONCE_LEN];
-        prng.fill(&mut client_nonce);
-        let mut hello = suite_to_bytes(config.suite).to_vec();
-        hello.extend_from_slice(&client_nonce);
-        write_record(&mut wire, RecordType::ClientHello, &hello)?;
-        transcript.extend_from_slice(&hello);
-
-        // <- ServerHello
-        let rec = read_record(&mut wire)?;
-        if rec.kind == RecordType::Alert {
-            return Err(IsslError::PeerAlert);
-        }
-        if rec.kind != RecordType::ServerHello {
-            return Err(IsslError::Handshake("expected server hello"));
-        }
-        if rec.body.len() < 2 + NONCE_LEN + 4 {
-            return Err(IsslError::Handshake("short server hello"));
-        }
-        let suite = suite_from_bytes(&rec.body).ok_or(IsslError::Handshake("bad suite"))?;
-        if suite != config.suite {
-            return Err(IsslError::Handshake("server changed the suite"));
-        }
-        let server_nonce = &rec.body[2..2 + NONCE_LEN];
-        let mut off = 2 + NONCE_LEN;
-        let n_len = usize::from(u16::from_be_bytes([rec.body[off], rec.body[off + 1]]));
-        off += 2;
-        let n_bytes = rec
-            .body
-            .get(off..off + n_len)
-            .ok_or(IsslError::Handshake("truncated modulus"))?;
-        off += n_len;
-        let e_len = usize::from(u16::from_be_bytes([
-            *rec.body.get(off).ok_or(IsslError::Handshake("truncated"))?,
-            *rec.body
-                .get(off + 1)
-                .ok_or(IsslError::Handshake("truncated"))?,
-        ]));
-        off += 2;
-        let e_bytes = rec
-            .body
-            .get(off..off + e_len)
-            .ok_or(IsslError::Handshake("truncated exponent"))?;
-        transcript.extend_from_slice(&rec.body);
-
-        // Premaster + -> KeyExchange
-        prng.stir(server_nonce);
-        let premaster: Vec<u8> = match &config.kx {
-            ClientKx::Rsa => {
-                if n_len == 0 {
-                    return Err(IsslError::Handshake("server offered no RSA key"));
-                }
-                let pk = PublicKey::from_bytes(n_bytes, e_bytes);
-                let mut pm = vec![0u8; PREMASTER_LEN];
-                prng.fill(&mut pm);
-                let ct = pk
-                    .encrypt(&pm, &mut PrngRng(&mut prng))
-                    .map_err(|_| IsslError::Rsa)?;
-                write_record(&mut wire, RecordType::KeyExchange, &ct)?;
-                transcript.extend_from_slice(&ct);
-                pm
-            }
-            ClientKx::PreShared(psk) => {
-                write_record(&mut wire, RecordType::KeyExchange, &[])?;
-                psk.clone()
-            }
-        };
-
-        let keys = derive_session_keys(
-            &premaster,
-            &client_nonce,
-            server_nonce,
-            config.suite.key.bytes(),
-        );
-        let transcript_hash = sha1(&transcript);
-
-        // -> Finished, <- Finished
-        let my_mac = hmac_sha1(&keys.client_mac_key, &transcript_hash);
-        write_record(&mut wire, RecordType::Finished, &my_mac)?;
-        let rec = read_record(&mut wire)?;
-        if rec.kind == RecordType::Alert {
-            return Err(IsslError::PeerAlert);
-        }
-        if rec.kind != RecordType::Finished {
-            return Err(IsslError::Handshake("expected finished"));
-        }
-        if !verify_hmac_sha1(&keys.server_mac_key, &transcript_hash, &rec.body) {
-            return Err(IsslError::BadMac);
-        }
-
-        let enc = Rijndael::new(&keys.client_write_key, config.suite.block)
-            .map_err(|_| IsslError::Handshake("bad key length"))?;
-        let dec = Rijndael::new(&keys.server_write_key, config.suite.block)
-            .map_err(|_| IsslError::Handshake("bad key length"))?;
-        Ok(Session {
-            wire,
-            enc,
-            dec,
-            mac_out: keys.client_mac_key,
-            mac_in: keys.server_mac_key,
-            block_len: config.suite.block.bytes(),
-            seq_out: 0,
-            seq_in: 0,
-            prng,
-            peer_closed: false,
-            plain_buf: VecDeque::new(),
-        })
+        let mut machine = SessionMachine::client(config.clone(), prng);
+        Self::drive_handshake(&mut wire, &mut machine)?;
+        Ok(Session { wire, machine })
     }
 
     /// Runs the server side of the handshake.
@@ -300,100 +170,44 @@ impl<W: Wire> Session<W> {
     pub fn server_handshake(
         mut wire: W,
         config: &ServerConfig,
-        mut prng: Prng,
+        prng: Prng,
     ) -> Result<Session<W>, IsslError> {
-        let mut transcript = Vec::new();
+        let mut machine = SessionMachine::server(config.clone(), prng);
+        Self::drive_handshake(&mut wire, &mut machine)?;
+        Ok(Session { wire, machine })
+    }
 
-        // <- ClientHello
-        let rec = read_record(&mut wire)?;
-        if rec.kind != RecordType::ClientHello {
-            return Err(IsslError::Handshake("expected client hello"));
-        }
-        if rec.body.len() != 2 + NONCE_LEN {
-            return Err(IsslError::Handshake("bad client hello length"));
-        }
-        let offered = suite_from_bytes(&rec.body).ok_or(IsslError::Handshake("bad suite"))?;
-        if !config.suites.contains(&offered) {
-            let _ = write_record(&mut wire, RecordType::Alert, b"unsupported suite");
-            return Err(IsslError::UnsupportedSuite);
-        }
-        let client_nonce: Vec<u8> = rec.body[2..].to_vec();
-        transcript.extend_from_slice(&rec.body);
-        prng.stir(&client_nonce);
-
-        // -> ServerHello
-        let mut server_nonce = [0u8; NONCE_LEN];
-        prng.fill(&mut server_nonce);
-        let mut hello = suite_to_bytes(offered).to_vec();
-        hello.extend_from_slice(&server_nonce);
-        match &config.kx {
-            ServerKx::Rsa(kp) => {
-                let n = kp.public().n_bytes();
-                let e = kp.public().e_bytes();
-                hello.extend_from_slice(&(n.len() as u16).to_be_bytes());
-                hello.extend_from_slice(&n);
-                hello.extend_from_slice(&(e.len() as u16).to_be_bytes());
-                hello.extend_from_slice(&e);
+    /// Pumps wire bytes through the machine until the handshake finishes
+    /// or fails. Output is flushed before the error check so protocol
+    /// alerts (unsupported suite, bad finished) reach the peer first,
+    /// exactly like the blocking code's `let _ = write_record(alert)`.
+    fn drive_handshake(wire: &mut W, machine: &mut SessionMachine) -> Result<(), IsslError> {
+        loop {
+            let out = machine.take_output();
+            if !out.is_empty() {
+                let sent = wire.write_all(&out);
+                if let Some(e) = machine.error() {
+                    return Err(e.clone());
+                }
+                sent.map_err(|e| IsslError::Record(RecordError::Wire(e)))?;
             }
-            ServerKx::PreShared(_) => {
-                hello.extend_from_slice(&0u16.to_be_bytes());
-                hello.extend_from_slice(&0u16.to_be_bytes());
+            if let Some(e) = machine.error() {
+                return Err(e.clone());
+            }
+            if machine.is_established() {
+                return Ok(());
+            }
+            let mut tmp = [0u8; READ_CHUNK];
+            match wire.read(&mut tmp) {
+                Ok(0) => machine.feed_eof(),
+                Ok(n) => {
+                    // A sticky error surfaces on the next loop pass, after
+                    // any alert the machine queued has been flushed.
+                    let _ = machine.feed(&tmp[..n]);
+                }
+                Err(e) => return Err(IsslError::Record(RecordError::Wire(e))),
             }
         }
-        write_record(&mut wire, RecordType::ServerHello, &hello)?;
-        transcript.extend_from_slice(&hello);
-
-        // <- KeyExchange
-        let rec = read_record(&mut wire)?;
-        if rec.kind != RecordType::KeyExchange {
-            return Err(IsslError::Handshake("expected key exchange"));
-        }
-        let premaster: Vec<u8> = match &config.kx {
-            ServerKx::Rsa(kp) => {
-                let pm = kp.decrypt(&rec.body).map_err(|_| IsslError::Rsa)?;
-                transcript.extend_from_slice(&rec.body);
-                pm
-            }
-            ServerKx::PreShared(psk) => psk.clone(),
-        };
-
-        let keys = derive_session_keys(
-            &premaster,
-            &client_nonce,
-            &server_nonce,
-            offered.key.bytes(),
-        );
-        let transcript_hash = sha1(&transcript);
-
-        // <- Finished, -> Finished
-        let rec = read_record(&mut wire)?;
-        if rec.kind != RecordType::Finished {
-            return Err(IsslError::Handshake("expected finished"));
-        }
-        if !verify_hmac_sha1(&keys.client_mac_key, &transcript_hash, &rec.body) {
-            let _ = write_record(&mut wire, RecordType::Alert, b"bad finished");
-            return Err(IsslError::BadMac);
-        }
-        let my_mac = hmac_sha1(&keys.server_mac_key, &transcript_hash);
-        write_record(&mut wire, RecordType::Finished, &my_mac)?;
-
-        let enc = Rijndael::new(&keys.server_write_key, offered.block)
-            .map_err(|_| IsslError::Handshake("bad key length"))?;
-        let dec = Rijndael::new(&keys.client_write_key, offered.block)
-            .map_err(|_| IsslError::Handshake("bad key length"))?;
-        Ok(Session {
-            wire,
-            enc,
-            dec,
-            mac_out: keys.server_mac_key,
-            mac_in: keys.client_mac_key,
-            block_len: offered.block.bytes(),
-            seq_out: 0,
-            seq_in: 0,
-            prng,
-            peer_closed: false,
-            plain_buf: VecDeque::new(),
-        })
     }
 
     /// Encrypts and sends application data (fragmenting across records).
@@ -402,22 +216,11 @@ impl<W: Wire> Session<W> {
     ///
     /// Transport failures via [`IsslError::Record`].
     pub fn secure_write(&mut self, data: &[u8]) -> Result<(), IsslError> {
-        for chunk in data.chunks(FRAGMENT) {
-            let mut iv = vec![0u8; self.block_len];
-            self.prng.fill(&mut iv);
-            let ct = cbc_encrypt(&self.enc, &iv, chunk).map_err(|_| IsslError::Corrupt)?;
-            let mut mac_input = self.seq_out.to_be_bytes().to_vec();
-            mac_input.extend_from_slice(&iv);
-            mac_input.extend_from_slice(&ct);
-            let mac = hmac_sha1(&self.mac_out, &mac_input);
-            let mut body = iv;
-            body.extend_from_slice(&ct);
-            body.extend_from_slice(&mac);
-            debug_assert!(body.len() <= MAX_RECORD);
-            write_record(&mut self.wire, RecordType::Data, &body)?;
-            self.seq_out += 1;
-        }
-        Ok(())
+        self.machine.write(data)?;
+        let out = self.machine.take_output();
+        self.wire
+            .write_all(&out)
+            .map_err(|e| IsslError::Record(RecordError::Wire(e)))
     }
 
     /// Receives and decrypts application data into `buf`. Returns 0 at an
@@ -428,48 +231,28 @@ impl<W: Wire> Session<W> {
     /// [`IsslError::BadMac`] / [`IsslError::Corrupt`] on tampered
     /// records, transport failures otherwise.
     pub fn secure_read(&mut self, buf: &mut [u8]) -> Result<usize, IsslError> {
-        while self.plain_buf.is_empty() {
-            if self.peer_closed {
+        loop {
+            // Buffered plaintext first: a greedy read may have processed a
+            // good record and then hit a bad one — the blocking path would
+            // deliver the good plaintext and only error on the next call.
+            if self.machine.available() > 0 {
+                return Ok(self.machine.read_plaintext(buf));
+            }
+            if let Some(e) = self.machine.error() {
+                return Err(e.clone());
+            }
+            if self.machine.is_peer_closed() {
                 return Ok(0);
             }
-            let rec = match read_record(&mut self.wire) {
-                Ok(r) => r,
-                Err(RecordError::Eof) => {
-                    self.peer_closed = true;
-                    return Ok(0);
+            let mut tmp = [0u8; READ_CHUNK];
+            match self.wire.read(&mut tmp) {
+                Ok(0) => self.machine.feed_eof(),
+                Ok(n) => {
+                    let _ = self.machine.feed(&tmp[..n]);
                 }
-                Err(e) => return Err(e.into()),
-            };
-            match rec.kind {
-                RecordType::Alert => {
-                    self.peer_closed = true;
-                    return Ok(0);
-                }
-                RecordType::Data => {
-                    let min = self.block_len + crypto::DIGEST_LEN;
-                    if rec.body.len() < min + self.block_len {
-                        return Err(IsslError::Corrupt);
-                    }
-                    let mac_at = rec.body.len() - crypto::DIGEST_LEN;
-                    let (payload, mac) = rec.body.split_at(mac_at);
-                    let mut mac_input = self.seq_in.to_be_bytes().to_vec();
-                    mac_input.extend_from_slice(payload);
-                    if !verify_hmac_sha1(&self.mac_in, &mac_input, mac) {
-                        return Err(IsslError::BadMac);
-                    }
-                    let (iv, ct) = payload.split_at(self.block_len);
-                    let plain = cbc_decrypt(&self.dec, iv, ct).map_err(|_| IsslError::Corrupt)?;
-                    self.plain_buf.extend(plain);
-                    self.seq_in += 1;
-                }
-                _ => return Err(IsslError::Handshake("handshake record after handshake")),
+                Err(e) => return Err(IsslError::Record(RecordError::Wire(e))),
             }
         }
-        let n = buf.len().min(self.plain_buf.len());
-        for b in buf.iter_mut().take(n) {
-            *b = self.plain_buf.pop_front().expect("length checked");
-        }
-        Ok(n)
     }
 
     /// Sends a close alert.
@@ -478,8 +261,11 @@ impl<W: Wire> Session<W> {
     ///
     /// Transport failures via [`IsslError::Record`].
     pub fn close(&mut self) -> Result<(), IsslError> {
-        write_record(&mut self.wire, RecordType::Alert, b"close")?;
-        Ok(())
+        self.machine.close()?;
+        let out = self.machine.take_output();
+        self.wire
+            .write_all(&out)
+            .map_err(|e| IsslError::Record(RecordError::Wire(e)))
     }
 
     /// Gives back the transport.
@@ -489,38 +275,16 @@ impl<W: Wire> Session<W> {
 
     /// Records sent so far (sequence number of the next outgoing record).
     pub fn records_sent(&self) -> u64 {
-        self.seq_out
+        self.machine.records_sent()
     }
 }
 
 impl<W: Wire> std::fmt::Debug for Session<W> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("seq_out", &self.seq_out)
-            .field("seq_in", &self.seq_in)
-            .field("block_len", &self.block_len)
+            .field("seq_out", &self.machine.records_sent())
+            .field("seq_in", &self.machine.records_received())
+            .field("block_len", &self.machine.block_len())
             .finish()
-    }
-}
-
-/// Adapter exposing [`Prng`] as a `rand::Rng` for the RSA padding code.
-struct PrngRng<'a>(&'a mut Prng);
-
-impl rand::RngCore for PrngRng<'_> {
-    fn next_u32(&mut self) -> u32 {
-        (self.0.next_u64() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.0.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.0.fill(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.0.fill(dest);
-        Ok(())
     }
 }

@@ -4,8 +4,36 @@
 //! Dynamic C socket on the RMC2000 — the two transports whose API gap is
 //! the paper's Figure 2.
 
+use crypto::Size;
 use sockets::bsd::{Errno, Fd, UnixProcess};
 use sockets::dynic::{Stack, TcpSock};
+
+use crate::session::CipherSuite;
+
+/// Encodes a cipher suite as the two-byte geometry field both hello
+/// messages carry (`[key words, block words]`). The single encoding
+/// authority for the blocking wrapper and the sans-I/O machine alike.
+pub fn suite_to_bytes(s: CipherSuite) -> [u8; 2] {
+    [s.key.words() as u8, s.block.words() as u8]
+}
+
+/// Decodes the two-byte suite geometry; `None` for sizes Rijndael does
+/// not have.
+pub fn suite_from_bytes(b: &[u8]) -> Option<CipherSuite> {
+    let key = match b.first()? {
+        4 => Size::Bits128,
+        6 => Size::Bits192,
+        8 => Size::Bits256,
+        _ => return None,
+    };
+    let block = match b.get(1)? {
+        4 => Size::Bits128,
+        6 => Size::Bits192,
+        8 => Size::Bits256,
+        _ => return None,
+    };
+    Some(CipherSuite { key, block })
+}
 
 /// Transport-level failures surfaced to the record layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

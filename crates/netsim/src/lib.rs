@@ -43,4 +43,4 @@ pub mod world;
 pub use addr::{htonl, htons, ntohl, ntohs, Endpoint, Ipv4};
 pub use packet::{IcmpEcho, Packet, TcpFlags, TcpSegment, Transport, UdpDatagram};
 pub use tcp::{HostId, SocketId, TcpState, MSS, RECV_WINDOW, SEND_BUFFER};
-pub use world::{LinkParams, NetError, Recv, Stats, TraceEntry, UdpId, World};
+pub use world::{LinkParams, NetError, Recv, SocketEvent, Stats, TraceEntry, UdpId, World};

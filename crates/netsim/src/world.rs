@@ -10,8 +10,8 @@ use rand::{Rng, SeedableRng};
 use crate::addr::{Endpoint, Ipv4};
 use crate::packet::{IcmpEcho, Packet, TcpFlags, TcpSegment, Transport, UdpDatagram};
 use crate::tcp::{
-    HostId, SocketId, TcpSocket, TcpState, INITIAL_RTO_US, MAX_RTO_US, MSS, SEND_BUFFER,
-    TIME_WAIT_US,
+    HostId, SocketId, TcpSocket, TcpState, INITIAL_RTO_US, MAX_RTO_US, MSS, RECV_WINDOW,
+    SEND_BUFFER, TIME_WAIT_US,
 };
 
 /// Copies `len` bytes starting at `start` out of a byte deque without
@@ -195,6 +195,33 @@ pub struct Stats {
     pub tcp_bytes_delivered: u64,
 }
 
+/// A per-socket readiness transition, recorded as the TCP machinery
+/// processes segments. Consumers that register interest (via
+/// [`World::enable_socket_events`]) drain these with
+/// [`World::take_socket_events`] and wake exactly the sockets that
+/// changed — O(ready), not O(sockets). Each event marks an edge
+/// (empty→non-empty buffer, new backlog entry, first FIN), so an idle
+/// world generates no events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketEvent {
+    /// An active open completed its three-way handshake (SYN-SENT →
+    /// ESTABLISHED), or a passive child became synchronised.
+    Established(SocketId),
+    /// A listener gained a fully established connection in its backlog;
+    /// `tcp_accept` will now succeed.
+    AcceptReady(SocketId),
+    /// The receive buffer went from empty to non-empty; `tcp_recv` will
+    /// now return data.
+    BytesReady(SocketId),
+    /// The peer's FIN was sequenced (or the connection was reset); after
+    /// the buffered bytes, `tcp_recv` reports end of stream.
+    PeerClosed(SocketId),
+    /// Acknowledged data freed send-buffer space, or a zero receive
+    /// window reopened; a previously blocked `tcp_send` may make
+    /// progress again.
+    WindowOpen(SocketId),
+}
+
 /// Outcome of a non-blocking `recv`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Recv {
@@ -257,6 +284,8 @@ pub struct World {
     udps: Vec<Option<UdpSock>>,
     seed: u64,
     trace: Option<Vec<TraceEntry>>,
+    socket_events: VecDeque<SocketEvent>,
+    socket_events_enabled: bool,
     /// Wire/stack counters.
     pub stats: Stats,
 }
@@ -275,7 +304,32 @@ impl World {
             udps: Vec::new(),
             seed,
             trace: None,
+            socket_events: VecDeque::new(),
+            socket_events_enabled: false,
             stats: Stats::default(),
+        }
+    }
+
+    /// Turns on readiness-event recording. Off by default so worlds with
+    /// no event-driven consumer pay nothing and leak nothing.
+    pub fn enable_socket_events(&mut self) {
+        self.socket_events_enabled = true;
+    }
+
+    /// Drains every readiness event recorded since the last drain, in the
+    /// order the transitions happened.
+    pub fn take_socket_events(&mut self) -> Vec<SocketEvent> {
+        self.socket_events.drain(..).collect()
+    }
+
+    /// Whether any readiness event is waiting to be drained.
+    pub fn has_socket_events(&self) -> bool {
+        !self.socket_events.is_empty()
+    }
+
+    fn push_event(&mut self, event: SocketEvent) {
+        if self.socket_events_enabled {
+            self.socket_events.push_back(event);
         }
     }
 
@@ -670,6 +724,31 @@ impl World {
         self.socks[id.0].as_ref().map_or(0, |s| s.send_buf.len())
     }
 
+    /// Whether the peer will send no more data: its FIN has been
+    /// sequenced, the connection was reset, or the socket is gone.
+    pub fn tcp_peer_closed(&self, id: SocketId) -> bool {
+        self.socks[id.0]
+            .as_ref()
+            .is_none_or(|s| s.peer_fin || s.reset)
+    }
+
+    /// Whether the connection was reset by the peer.
+    pub fn tcp_reset(&self, id: SocketId) -> bool {
+        self.socks[id.0].as_ref().is_some_and(|s| s.reset)
+    }
+
+    /// Send-buffer bytes `tcp_send` would accept right now (0 when the
+    /// connection cannot carry data or a close has been queued).
+    pub fn tcp_send_room(&self, id: SocketId) -> usize {
+        self.socks[id.0].as_ref().map_or(0, |s| {
+            if s.reset || !s.state.can_send() || s.fin_queued {
+                0
+            } else {
+                SEND_BUFFER.saturating_sub(s.send_buf.len())
+            }
+        })
+    }
+
     /// Orderly close: sends FIN after any buffered data.
     ///
     /// # Errors
@@ -921,6 +1000,7 @@ impl World {
             if s.state != TcpState::Listen {
                 s.reset = true;
                 s.state = TcpState::Closed;
+                self.push_event(SocketEvent::PeerClosed(id));
             }
             return;
         }
@@ -969,6 +1049,7 @@ impl World {
                     let rcv = s.rcv_nxt;
                     let _ = rcv;
                     let seq = s.snd_nxt;
+                    self.push_event(SocketEvent::Established(id));
                     self.emit(id, seq, TcpFlags::ACK, Vec::new());
                     self.try_transmit(id);
                 }
@@ -997,18 +1078,25 @@ impl World {
                         acked -= 1;
                     }
                 }
-                s.send_buf.drain(..acked.min(s.send_buf.len()));
+                let freed = acked.min(s.send_buf.len());
+                s.send_buf.drain(..freed);
                 s.snd_una = seg.ack;
                 s.rto_us = INITIAL_RTO_US;
                 s.peer_window = seg.window;
+                if freed > 0 {
+                    self.push_event(SocketEvent::WindowOpen(id));
+                }
 
                 // Handshake completion for passive opens.
+                let s = self.sock_mut(id);
                 if s.state == TcpState::SynReceived {
                     s.state = TcpState::Established;
-                    if let Some(parent) = s.parent {
-                        let child = id;
+                    let parent = s.parent;
+                    self.push_event(SocketEvent::Established(id));
+                    if let Some(parent) = parent {
                         if let Some(p) = self.sock_mut_opt(parent) {
-                            p.backlog.push_back(child);
+                            p.backlog.push_back(id);
+                            self.push_event(SocketEvent::AcceptReady(parent));
                         }
                     }
                 }
@@ -1031,7 +1119,11 @@ impl World {
                 }
             } else {
                 let s = self.sock_mut(id);
+                let was_zero = s.peer_window == 0;
                 s.peer_window = seg.window;
+                if was_zero && seg.window > 0 {
+                    self.push_event(SocketEvent::WindowOpen(id));
+                }
             }
         }
 
@@ -1043,12 +1135,23 @@ impl World {
             );
             if can_receive {
                 let s = self.sock_mut(id);
+                let was_empty = s.recv_buf.is_empty();
                 if seg.seq == s.rcv_nxt {
-                    s.rcv_nxt = s.rcv_nxt.wrapping_add(seg.payload.len() as u32);
-                    s.recv_buf.extend(&seg.payload);
-                    let mut delivered = seg.payload.len() as u64;
+                    // Receive-window enforcement: accept only the prefix
+                    // that fits in the advertised window. The dropped tail
+                    // stays unacknowledged; the sender retransmits it after
+                    // a read reopens the window (tcp_recv advertises the
+                    // update).
+                    let room = RECV_WINDOW.saturating_sub(s.recv_buf.len());
+                    let take = seg.payload.len().min(room);
+                    s.rcv_nxt = s.rcv_nxt.wrapping_add(take as u32);
+                    s.recv_buf.extend(&seg.payload[..take]);
+                    let mut delivered = take as u64;
                     // Drain any out-of-order segments that now fit.
-                    while let Some((&q, _)) = s.ooo.first_key_value() {
+                    while take == seg.payload.len() {
+                        let Some((&q, data)) = s.ooo.first_key_value() else {
+                            break;
+                        };
                         if q != s.rcv_nxt {
                             if seq_lt(q, s.rcv_nxt) {
                                 // stale duplicate
@@ -1057,12 +1160,18 @@ impl World {
                             }
                             break;
                         }
+                        if s.recv_buf.len() + data.len() > RECV_WINDOW {
+                            break;
+                        }
                         let (_, data) = s.ooo.pop_first().expect("checked non-empty");
                         s.rcv_nxt = s.rcv_nxt.wrapping_add(data.len() as u32);
                         delivered += data.len() as u64;
                         s.recv_buf.extend(&data);
                     }
                     self.stats.tcp_bytes_delivered += delivered;
+                    if was_empty && !self.sock(id).recv_buf.is_empty() {
+                        self.push_event(SocketEvent::BytesReady(id));
+                    }
                 } else if seq_lt(self.sock(id).rcv_nxt, seg.seq) {
                     let s = self.sock_mut(id);
                     s.ooo.entry(seg.seq).or_insert_with(|| seg.payload.clone());
@@ -1088,6 +1197,7 @@ impl World {
                     let at = self.now + TIME_WAIT_US;
                     self.schedule(at, Event::TimeWaitExpire { sock: id });
                 }
+                self.push_event(SocketEvent::PeerClosed(id));
                 need_ack = true;
             } else if seq_lt(fin_seq, s.rcv_nxt) {
                 need_ack = true; // retransmitted FIN: re-ACK

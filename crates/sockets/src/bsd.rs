@@ -7,9 +7,10 @@
 //! here through a [`Blocking`] policy: either pumping the simulated world
 //! or yielding to the costatement scheduler.
 
-use netsim::{htonl, htons, ntohl, ntohs, Endpoint, HostId, Ipv4, Recv, SocketId, TcpState};
+use netsim::{htonl, htons, ntohl, ntohs, Endpoint, HostId, Ipv4, Recv, SocketId, TcpState, World};
 
 use crate::net::{Blocking, Net};
+use crate::poll::Readiness;
 
 /// `AF_INET`.
 pub const AF_INET: i32 = 2;
@@ -83,7 +84,7 @@ impl std::error::Error for Errno {}
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fd(pub i32);
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum FdState {
     Fresh,
     Bound(u16),
@@ -142,6 +143,86 @@ impl UnixProcess {
 
     fn fd_state(&mut self, fd: Fd) -> Result<&mut FdState, Errno> {
         self.fds.get_mut(fd.0 as usize).ok_or(Errno::Ebadf)
+    }
+
+    fn fd_ref(&self, fd: Fd) -> Result<&FdState, Errno> {
+        self.fds.get(fd.0 as usize).ok_or(Errno::Ebadf)
+    }
+
+    fn readiness_of(w: &World, state: &FdState) -> Readiness {
+        match state {
+            FdState::Listening(sid) => Readiness {
+                accept_ready: w.tcp_pending(*sid) > 0,
+                ..Readiness::NONE
+            },
+            FdState::Connected(sid) => {
+                let closed = w.tcp_peer_closed(*sid);
+                Readiness {
+                    readable: w.tcp_available(*sid) > 0 || closed,
+                    writable: w.tcp_send_room(*sid) > 0,
+                    accept_ready: false,
+                    peer_closed: closed,
+                }
+            }
+            _ => Readiness::NONE,
+        }
+    }
+
+    /// `poll(2)`-style snapshot for one descriptor, computed from netsim
+    /// socket state — never pumps the world.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on a bad descriptor.
+    pub fn readiness(&self, fd: Fd) -> Result<Readiness, Errno> {
+        let state = self.fd_ref(fd)?;
+        Ok(self.net.with(|w| Self::readiness_of(w, state)))
+    }
+
+    /// Polls a descriptor set, returning only the ready entries.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` if any descriptor is bad.
+    pub fn poll(&self, fds: &[Fd]) -> Result<Vec<(Fd, Readiness)>, Errno> {
+        let mut out = Vec::new();
+        for &fd in fds {
+            let r = self.readiness(fd)?;
+            if r.any() {
+                out.push((fd, r));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pseudo-blocking poll: waits (pumping the world or yielding to the
+    /// scheduler, per this process's [`Blocking`] policy) until at least
+    /// one descriptor is ready, then returns the ready set.
+    ///
+    /// # Errors
+    ///
+    /// `EBADF` on a bad descriptor; `ETIMEDOUT` if nothing becomes ready
+    /// within the timeout budget.
+    pub fn poll_wait(&mut self, fds: &[Fd]) -> Result<Vec<(Fd, Readiness)>, Errno> {
+        let mut states = Vec::with_capacity(fds.len());
+        for &fd in fds {
+            states.push((fd, *self.fd_ref(fd)?));
+        }
+        let ok = self.blocking.wait_until(
+            &self.net,
+            |w| states.iter().any(|(_, st)| Self::readiness_of(w, st).any()),
+            self.timeout_rounds,
+        );
+        if !ok {
+            return Err(Errno::Etimedout);
+        }
+        Ok(self.net.with(|w| {
+            states
+                .iter()
+                .map(|&(fd, ref st)| (fd, Self::readiness_of(w, st)))
+                .filter(|(_, r)| r.any())
+                .collect()
+        }))
     }
 
     /// `socket(AF_INET, SOCK_STREAM, 0)`.

@@ -21,6 +21,7 @@ use std::sync::{Arc, Mutex};
 use netsim::{Endpoint, HostId, Recv, SocketId, TcpState};
 
 use crate::net::Net;
+use crate::poll::Readiness;
 
 /// Virtual time consumed by one `tcp_tick` call, in microseconds.
 pub const TICK_US: u64 = 200;
@@ -84,6 +85,10 @@ enum SlotState {
 struct Slot {
     state: SlotState,
     mode: SockMode,
+    /// Whether the live connection arrived via `tcp_listen` dispatch (as
+    /// opposed to an active `tcp_open`); accept-readiness only applies to
+    /// dispatched connections.
+    accepted: bool,
 }
 
 #[derive(Debug)]
@@ -177,6 +182,7 @@ impl Stack {
         let host = self.host;
         let sid = self.net.with(|w| w.tcp_connect(host, remote));
         slot.state = SlotState::Connected(sid);
+        slot.accepted = false;
         Ok(())
     }
 
@@ -207,6 +213,7 @@ impl Stack {
                 };
                 let idx = ps.waiting.pop_front().expect("non-empty");
                 inner.slots[idx].state = SlotState::Connected(conn);
+                inner.slots[idx].accepted = true;
             }
         }
     }
@@ -243,6 +250,40 @@ impl Stack {
     pub fn sock_established(&self, sock: TcpSock) -> bool {
         self.conn_of(sock)
             .is_some_and(|sid| self.net.with(|w| w.tcp_established(sid)))
+    }
+
+    /// Non-blocking readiness mirror of the BSD [`poll`](crate::poll)
+    /// snapshot for one socket slot. Pure: never ticks the stack or
+    /// dispatches accepts — pair it with a driver costatement running
+    /// `tcp_tick`, exactly like `sock_established` in a `waitfor`.
+    ///
+    /// Dynamic C has no `accept`, so `accept_ready` on a listen slot
+    /// means "the slot has been handed its inbound connection and the
+    /// handshake finished" — the moment the Figure 3 handler may start
+    /// serving.
+    pub fn sock_readiness(&self, sock: TcpSock) -> Readiness {
+        let (sid, accepted) = {
+            let inner = self.inner.lock().expect("stack lock");
+            match inner.slots.get(sock.0) {
+                Some(slot) => match slot.state {
+                    SlotState::Connected(sid) => (Some(sid), slot.accepted),
+                    _ => (None, false),
+                },
+                None => (None, false),
+            }
+        };
+        let Some(sid) = sid else {
+            return Readiness::NONE;
+        };
+        self.net.with(|w| {
+            let closed = w.tcp_peer_closed(sid);
+            Readiness {
+                readable: w.tcp_available(sid) > 0 || closed,
+                writable: w.tcp_send_room(sid) > 0,
+                accept_ready: accepted && w.tcp_established(sid),
+                peer_closed: closed,
+            }
+        })
     }
 
     /// `sock_wait_established(&sock, timeout, …)`: ticks the stack until
@@ -420,6 +461,7 @@ impl Stack {
         match std::mem::take(&mut slot.state) {
             SlotState::Connected(sid) => {
                 slot.state = SlotState::Done;
+                slot.accepted = false;
                 let _ = self.net.with(|w| w.tcp_close(sid));
             }
             SlotState::Listening(port) => {

@@ -17,5 +17,7 @@
 pub mod bsd;
 pub mod dynic;
 pub mod net;
+pub mod poll;
 
 pub use net::{Blocking, Net};
+pub use poll::Readiness;

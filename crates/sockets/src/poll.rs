@@ -1,0 +1,42 @@
+//! Readiness notification — the `select`/`poll` half of the BSD model the
+//! paper's host-side service never needed (it forked per connection) but
+//! that mass-concurrency serving does.
+//!
+//! A [`Readiness`] snapshot is computed from netsim socket state
+//! (buffered bytes, send-buffer room, pending accepts, peer FIN/RST), not
+//! by spin-ticking the world. Event-driven callers combine these
+//! snapshots with [`netsim::World::take_socket_events`] so each loop
+//! iteration is O(sockets that changed), not O(all sockets).
+
+/// What a descriptor can do right now without blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readiness {
+    /// A read would return data — or EOF: like `poll(2)`'s `POLLIN`, a
+    /// closed peer makes the descriptor readable so the caller observes
+    /// the end of stream.
+    pub readable: bool,
+    /// A write would accept at least one byte.
+    pub writable: bool,
+    /// For a listener: an established connection is waiting to be
+    /// accepted. For a Dynamic C listen slot (which has no `accept`): the
+    /// slot has been handed its connection and the handshake finished.
+    pub accept_ready: bool,
+    /// The peer has sent FIN or RST (`POLLHUP` analogue). Buffered data
+    /// may still be readable.
+    pub peer_closed: bool,
+}
+
+impl Readiness {
+    /// Nothing ready.
+    pub const NONE: Readiness = Readiness {
+        readable: false,
+        writable: false,
+        accept_ready: false,
+        peer_closed: false,
+    };
+
+    /// Whether any condition is set.
+    pub fn any(&self) -> bool {
+        self.readable || self.writable || self.accept_ready || self.peer_closed
+    }
+}

@@ -1,0 +1,38 @@
+//! Mass-concurrency smoke run for CI: 100 concurrent sessions through
+//! the readiness-driven event-loop server, printing throughput and
+//! handshake-latency numbers (run with `--nocapture` to see them).
+//!
+//! The full 1,000-session run lives in `full_stack.rs`; this smaller
+//! sweep keeps the CI job fast while still exercising the same
+//! serving path at three orders of concurrency.
+
+use issl::serve::run_load;
+use issl::LoadSpec;
+
+#[test]
+fn hundred_session_smoke() {
+    for n in [10usize, 100] {
+        let report = run_load(&LoadSpec::concurrency(n));
+        assert_eq!(report.completed, n, "all {n} sessions complete");
+        assert_eq!(report.failed, 0, "no failures at N={n}");
+        println!(
+            "N={n:4}  {:8.1} sessions/sec  handshake p50={}us p99={}us  ({} us virtual)",
+            report.sessions_per_sec(),
+            report.handshake_percentile_us(50.0),
+            report.handshake_percentile_us(99.0),
+            report.elapsed_us,
+        );
+    }
+}
+
+/// The smoke run is bit-for-bit reproducible: identical specs give
+/// identical virtual-time latency vectors.
+#[test]
+fn hundred_session_determinism() {
+    let spec = LoadSpec::concurrency(100);
+    let a = run_load(&spec);
+    let b = run_load(&spec);
+    assert_eq!(a.completed, 100);
+    assert_eq!(a.handshake_us, b.handshake_us);
+    assert_eq!(a.elapsed_us, b.elapsed_us);
+}
