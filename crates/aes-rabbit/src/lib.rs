@@ -25,7 +25,7 @@
 pub mod asm_impl;
 pub mod csource;
 
-use rabbit::{assemble, Cpu, Engine, Memory, NullIo};
+use rabbit::{assemble, Cpu, Engine, Memory, NullIo, ProfileReport, SymbolTable};
 
 pub use asm_impl::{aes128_asm_source, aes128_asm_source_unaligned};
 pub use csource::{aes128_c_decrypt_source, aes128_c_source};
@@ -166,21 +166,82 @@ pub fn measure_on(
     blocks: &[[u8; 16]],
 ) -> Result<Measurement, AesRabbitError> {
     assert!(!blocks.is_empty(), "need at least one block");
-    let m = match imp {
-        Implementation::CompiledC(opts) => run_c(engine, *opts, key, blocks)?,
-        Implementation::HandAsm => run_asm(engine, key, blocks, true)?,
-        Implementation::HandAsmUnaligned => run_asm(engine, key, blocks, false)?,
+    let (m, _) = match imp {
+        Implementation::CompiledC(opts) => run_c(engine, *opts, key, blocks, false)?,
+        Implementation::HandAsm => run_asm(engine, key, blocks, true, false)?,
+        Implementation::HandAsmUnaligned => run_asm(engine, key, blocks, false, false)?,
     };
-    // Verify against the host-grade reference.
+    verify_outputs(key, blocks, &m.outputs)?;
+    Ok(m)
+}
+
+/// A [`Measurement`] plus the cycle-attribution profile of the run: which
+/// function (assembler label) every cycle went to, with call-stack-aware
+/// flamegraph export. This is the per-function view behind the paper's
+/// §6 cycles-per-block totals.
+#[derive(Debug, Clone)]
+pub struct ProfiledMeasurement {
+    /// The ordinary measurement (outputs verified, cycles, size).
+    pub measurement: Measurement,
+    /// Per-symbol cycle attribution, from the build's own label table.
+    pub report: ProfileReport,
+}
+
+/// As [`measure`], but with the ISS cycle profiler attached: returns the
+/// per-symbol cycle breakdown alongside the measurement. Symbols come
+/// from the implementation's own label table (the dcc-emitted `_name`
+/// function labels for C, the source labels for hand assembly), so the
+/// report is a real per-function profile, not a PC histogram.
+///
+/// # Errors
+///
+/// As [`measure`].
+///
+/// # Panics
+///
+/// Panics when `blocks` is empty.
+pub fn measure_profiled(
+    imp: &Implementation,
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+) -> Result<ProfiledMeasurement, AesRabbitError> {
+    assert!(!blocks.is_empty(), "need at least one block");
+    let (m, report) = match imp {
+        Implementation::CompiledC(opts) => run_c(Engine::BlockCache, *opts, key, blocks, true)?,
+        Implementation::HandAsm => run_asm(Engine::BlockCache, key, blocks, true, true)?,
+        Implementation::HandAsmUnaligned => {
+            run_asm(Engine::BlockCache, key, blocks, false, true)?
+        }
+    };
+    verify_outputs(key, blocks, &m.outputs)?;
+    Ok(ProfiledMeasurement {
+        measurement: m,
+        report: report.expect("profiling was requested"),
+    })
+}
+
+fn verify_outputs(
+    key: &[u8; 16],
+    blocks: &[[u8; 16]],
+    outputs: &[[u8; 16]],
+) -> Result<(), AesRabbitError> {
     let reference = crypto::Rijndael::aes(key).expect("16-byte key");
-    for (i, (input, out)) in blocks.iter().zip(&m.outputs).enumerate() {
+    for (i, (input, out)) in blocks.iter().zip(outputs).enumerate() {
         let mut expect = *input;
         reference.encrypt_block(&mut expect);
         if expect != *out {
             return Err(AesRabbitError::Mismatch { block: i });
         }
     }
-    Ok(m)
+    Ok(())
+}
+
+/// Folds the profiler attached to `cpu` (when `profile` was set) through
+/// the image's label table.
+fn take_report(cpu: &mut Cpu, symbols: &std::collections::HashMap<String, u16>) -> Option<ProfileReport> {
+    let profiler = cpu.take_profiler()?;
+    let table = SymbolTable::from_pairs(symbols.iter().map(|(name, &addr)| (name.as_str(), addr)));
+    Some(profiler.report(&table))
 }
 
 fn run_c(
@@ -188,22 +249,30 @@ fn run_c(
     opts: dcc::Options,
     key: &[u8; 16],
     blocks: &[[u8; 16]],
-) -> Result<Measurement, AesRabbitError> {
+    profile: bool,
+) -> Result<(Measurement, Option<ProfileReport>), AesRabbitError> {
     let src = aes128_c_source(blocks.len());
     let build = dcc::build(&src, opts).map_err(|e| AesRabbitError::Build(e.to_string()))?;
     let (mut cpu, mut mem) = build.machine();
     build.write_bytes(&mut mem, "_key", key);
     build.write_bytes(&mut mem, "_input", &flatten(blocks));
+    if profile {
+        cpu.enable_profiler();
+    }
     build
         .run_prepared_on(engine, &mut cpu, &mut mem, MAX_CYCLES)
         .map_err(|e| AesRabbitError::Run(e.to_string()))?;
+    let report = take_report(&mut cpu, &build.image.symbols);
     let out = build.read_bytes(&mem, "_output", blocks.len() * 16);
-    Ok(Measurement {
-        outputs: unflatten(&out),
-        cycles_total: cpu.cycles,
-        cycles_per_block: cpu.cycles / blocks.len() as u64,
-        program_bytes: build.image.size() - 2 * 16 * blocks.len(),
-    })
+    Ok((
+        Measurement {
+            outputs: unflatten(&out),
+            cycles_total: cpu.cycles,
+            cycles_per_block: cpu.cycles / blocks.len() as u64,
+            program_bytes: build.image.size() - 2 * 16 * blocks.len(),
+        },
+        report,
+    ))
 }
 
 fn run_asm(
@@ -211,7 +280,8 @@ fn run_asm(
     key: &[u8; 16],
     blocks: &[[u8; 16]],
     aligned: bool,
-) -> Result<Measurement, AesRabbitError> {
+    profile: bool,
+) -> Result<(Measurement, Option<ProfileReport>), AesRabbitError> {
     let src = if aligned {
         aes128_asm_source(blocks.len())
     } else {
@@ -233,18 +303,25 @@ fn run_asm(
     cpu.mmu.dataseg = 0x78;
     cpu.mmu.stackseg = 0x78;
     cpu.regs.pc = 0x4000;
+    if profile {
+        cpu.enable_profiler();
+    }
     cpu.run_on(engine, &mut mem, &mut NullIo, MAX_CYCLES)
         .map_err(|e| AesRabbitError::Run(e.to_string()))?;
     if !cpu.halted {
         return Err(AesRabbitError::Run("did not halt".into()));
     }
+    let report = take_report(&mut cpu, &image.symbols);
     let out = mem.dump(rmc_phys(out_addr), blocks.len() * 16);
-    Ok(Measurement {
-        outputs: unflatten(&out),
-        cycles_total: cpu.cycles,
-        cycles_per_block: cpu.cycles / blocks.len() as u64,
-        program_bytes: image.size() - 2 * 16 * blocks.len(),
-    })
+    Ok((
+        Measurement {
+            outputs: unflatten(&out),
+            cycles_total: cpu.cycles,
+            cycles_per_block: cpu.cycles / blocks.len() as u64,
+            program_bytes: image.size() - 2 * 16 * blocks.len(),
+        },
+        report,
+    ))
 }
 
 /// The shared logical→physical load mapping (same as `dcc::harness`).

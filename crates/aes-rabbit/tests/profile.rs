@@ -1,0 +1,74 @@
+//! Profiler smoke tests over the AES workloads (also run as the CI
+//! `telemetry-smoke` job): at least 95% of retired cycles must resolve to
+//! a named symbol on both the compiled-C and hand-assembly
+//! implementations, and two identically-seeded runs must produce
+//! byte-identical profile JSON.
+
+use aes_rabbit::{measure_profiled, testbench_workload, Implementation};
+
+fn attribution_for(imp: &Implementation) -> (f64, String) {
+    let (key, blocks) = testbench_workload(2, 1903);
+    let p = measure_profiled(imp, &key, &blocks).expect("profiled run");
+    assert_eq!(
+        p.report.total, p.measurement.cycles_total,
+        "every retired cycle is in the profile"
+    );
+    (p.report.attributed_fraction(), p.report.to_json())
+}
+
+#[test]
+fn compiled_c_attributes_95_percent() {
+    let imp = Implementation::CompiledC(dcc::Options::baseline());
+    let (fraction, _) = attribution_for(&imp);
+    assert!(
+        fraction >= 0.95,
+        "C cycles attributed to named symbols: {:.4} < 0.95",
+        fraction
+    );
+}
+
+#[test]
+fn hand_asm_attributes_95_percent() {
+    let (fraction, _) = attribution_for(&Implementation::HandAsm);
+    assert!(
+        fraction >= 0.95,
+        "asm cycles attributed to named symbols: {:.4} < 0.95",
+        fraction
+    );
+}
+
+#[test]
+fn profiles_are_deterministic_across_runs() {
+    for imp in [
+        Implementation::CompiledC(dcc::Options::all_optimizations()),
+        Implementation::HandAsm,
+    ] {
+        let (_, a) = attribution_for(&imp);
+        let (_, b) = attribution_for(&imp);
+        assert_eq!(a, b, "same seed, byte-identical profile JSON");
+    }
+}
+
+#[test]
+fn c_profile_names_the_round_functions() {
+    let (key, blocks) = testbench_workload(1, 7);
+    let p = measure_profiled(
+        &Implementation::CompiledC(dcc::Options::baseline()),
+        &key,
+        &blocks,
+    )
+    .expect("profiled run");
+    // The dcc-compiled image labels each C function `_name`; the heavy
+    // hitters of the cipher must show up as distinct rows.
+    let names: Vec<&str> = p.report.rows.iter().map(|r| r.symbol.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.starts_with('_')),
+        "per-function rows present: {names:?}"
+    );
+    // The flamegraph export nests at least one call (main -> cipher).
+    assert!(
+        p.report.collapsed().lines().any(|l| l.contains(';')),
+        "call-stack nesting recorded:\n{}",
+        p.report.collapsed()
+    );
+}

@@ -6,10 +6,12 @@
 //!
 //! [`FileLog`] is the host-side unbounded append-to-file logger;
 //! [`CircularLog`] is the reworked embedded logger with a fixed-capacity
-//! ring, as the port chose.
+//! ring, as the port chose. The ring itself is [`telemetry::Ring`] — the
+//! same bounded buffer the span recorder uses.
 
-use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
+
+use telemetry::Ring;
 
 use crate::fs::Filesystem;
 
@@ -66,14 +68,7 @@ impl Log for FileLog {
 /// bounded forever; old entries fall off the front.
 #[derive(Debug, Clone)]
 pub struct CircularLog {
-    inner: Arc<Mutex<CircularInner>>,
-}
-
-#[derive(Debug)]
-struct CircularInner {
-    lines: VecDeque<String>,
-    capacity: usize,
-    dropped: u64,
+    inner: Arc<Mutex<Ring<String>>>,
 }
 
 impl CircularLog {
@@ -83,45 +78,29 @@ impl CircularLog {
     ///
     /// Panics when `capacity` is zero.
     pub fn new(capacity: usize) -> CircularLog {
-        assert!(capacity > 0, "a zero-capacity log is no log at all");
         CircularLog {
-            inner: Arc::new(Mutex::new(CircularInner {
-                lines: VecDeque::with_capacity(capacity),
-                capacity,
-                dropped: 0,
-            })),
+            inner: Arc::new(Mutex::new(Ring::new(capacity))),
         }
     }
 
     /// Lines evicted so far.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("log lock").dropped
+        self.inner.lock().expect("log lock").dropped()
     }
 
     /// Maximum retained lines.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().expect("log lock").capacity
+        self.inner.lock().expect("log lock").capacity()
     }
 }
 
 impl Log for CircularLog {
     fn log(&self, line: &str) {
-        let mut inner = self.inner.lock().expect("log lock");
-        if inner.lines.len() == inner.capacity {
-            inner.lines.pop_front();
-            inner.dropped += 1;
-        }
-        inner.lines.push_back(line.to_string());
+        self.inner.lock().expect("log lock").push(line.to_string());
     }
 
     fn lines(&self) -> Vec<String> {
-        self.inner
-            .lock()
-            .expect("log lock")
-            .lines
-            .iter()
-            .cloned()
-            .collect()
+        self.inner.lock().expect("log lock").iter().cloned().collect()
     }
 }
 

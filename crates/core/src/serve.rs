@@ -20,7 +20,26 @@ use netsim::{Endpoint, HostId, Ipv4, LinkParams, Recv, SocketEvent, SocketId};
 use sockets::Net;
 
 use crate::machine::SessionMachine;
-use crate::session::{ClientConfig, ClientKx, ServerConfig, ServerKx};
+use crate::session::{CipherSuite, ClientConfig, ClientKx, IsslError, ServerConfig, ServerKx};
+
+/// Folds an [`IsslError`] into the label value of the
+/// `serve.errors{kind=...}` counter family.
+fn error_kind(e: &IsslError) -> &'static str {
+    match e {
+        IsslError::Record(_) => "record",
+        IsslError::BadMac => "bad_mac",
+        IsslError::Handshake(_) => "handshake",
+        IsslError::UnsupportedSuite => "unsupported_suite",
+        IsslError::Rsa => "rsa",
+        IsslError::Corrupt => "corrupt",
+        IsslError::PeerAlert => "peer_alert",
+    }
+}
+
+/// Label value for the per-suite handshake counter, e.g. `aes128-128`.
+fn suite_label(s: &CipherSuite) -> String {
+    format!("aes{}-{}", s.key.words() * 32, s.block.words() * 32)
+}
 
 /// What a multiplexed connection is doing.
 enum ConnKind {
@@ -33,6 +52,11 @@ enum ConnKind {
         sent: bool,
         hs_start_us: u64,
         hs_done_us: Option<u64>,
+        /// Virtual time the echo payload entered the machine, for the
+        /// `serve.echo_us` round-trip histogram.
+        echo_sent_us: Option<u64>,
+        /// Pre-rendered label for `serve.handshakes{suite=...}`.
+        suite_label: String,
     },
 }
 
@@ -100,14 +124,32 @@ pub struct EventLoop {
     failed: usize,
     handshake_us: Vec<u64>,
     started_us: u64,
+    /// The world's registry — serve metrics land next to the `net.*`
+    /// counters so one snapshot covers the whole stack.
+    registry: telemetry::Registry,
+    hs_hist: telemetry::Histogram,
+    echo_hist: telemetry::Histogram,
+    completed_ctr: telemetry::Counter,
+    failed_ctr: telemetry::Counter,
+    accepted_ctr: telemetry::Counter,
+    spans: telemetry::SpanRecorder,
 }
 
 impl EventLoop {
     /// Creates the loop and switches the world to event-driven
-    /// notification.
+    /// notification. Metrics register in the world's own
+    /// [`telemetry::Registry`], so a snapshot taken through
+    /// [`EventLoop::telemetry`] shows the serving layer and the network
+    /// underneath it together.
     pub fn new(net: &Net) -> EventLoop {
         net.with(|w| w.enable_socket_events());
         let started_us = net.now();
+        let registry = net.telemetry();
+        let hs_hist = registry.histogram("serve.handshake_us", &[]);
+        let echo_hist = registry.histogram("serve.echo_us", &[]);
+        let completed_ctr = registry.counter("serve.sessions.completed", &[]);
+        let failed_ctr = registry.counter("serve.sessions.failed", &[]);
+        let accepted_ctr = registry.counter("serve.accepted", &[]);
         EventLoop {
             net: net.clone(),
             listeners: HashMap::new(),
@@ -117,7 +159,24 @@ impl EventLoop {
             failed: 0,
             handshake_us: Vec::new(),
             started_us,
+            registry,
+            hs_hist,
+            echo_hist,
+            completed_ctr,
+            failed_ctr,
+            accepted_ctr,
+            spans: telemetry::SpanRecorder::new(1024),
         }
+    }
+
+    /// The registry this loop records into (shared with the world).
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.registry
+    }
+
+    /// Completed handshake spans in virtual time, oldest first.
+    pub fn spans(&self) -> &telemetry::SpanRecorder {
+        &self.spans
     }
 
     /// Opens an issl echo listener: every accepted connection runs the
@@ -158,6 +217,7 @@ impl EventLoop {
         seed: u64,
     ) -> SocketId {
         let sid = self.net.with(|w| w.tcp_connect(host, server));
+        let label = suite_label(&config.suite);
         let machine = SessionMachine::client(config, Prng::new(seed));
         let hs_start_us = self.net.now();
         self.conns.insert(
@@ -170,6 +230,8 @@ impl EventLoop {
                     sent: false,
                     hs_start_us,
                     hs_done_us: None,
+                    echo_sent_us: None,
+                    suite_label: label,
                 },
                 out_pending: Vec::new(),
                 want_close: false,
@@ -269,6 +331,7 @@ impl EventLoop {
                     want_close: false,
                 },
             );
+            self.accepted_ctr.inc();
             self.pump(conn);
         }
     }
@@ -311,14 +374,20 @@ impl EventLoop {
             conn.machine.feed_eof();
         }
 
-        let mut failed = conn.machine.error().is_some() || reset;
+        let mut fail_kind = match conn.machine.error() {
+            Some(e) => Some(error_kind(e)),
+            None if reset => Some("reset"),
+            None => None,
+        };
         let mut completed_latency = None;
-        if !failed {
+        let mut echo_latency = None;
+        let mut hs_span: Option<(String, u64)> = None;
+        if fail_kind.is_none() {
             match &mut conn.kind {
                 ConnKind::Echo => {
                     let plain = conn.machine.take_plaintext();
                     if !plain.is_empty() && conn.machine.write(&plain).is_err() {
-                        failed = true;
+                        fail_kind = Some(conn.machine.error().map_or("write", error_kind));
                     } else if conn.machine.is_peer_closed() {
                         conn.want_close = true;
                     }
@@ -329,30 +398,36 @@ impl EventLoop {
                     sent,
                     hs_start_us,
                     hs_done_us,
+                    echo_sent_us,
+                    suite_label,
                 } => {
                     if conn.machine.is_established() {
                         if hs_done_us.is_none() {
                             *hs_done_us = Some(now - *hs_start_us);
+                            hs_span = Some((suite_label.clone(), *hs_start_us));
                         }
                         if !*sent {
                             *sent = true;
+                            *echo_sent_us = Some(now);
                             let data = payload.clone();
                             if conn.machine.write(&data).is_err() {
-                                failed = true;
+                                fail_kind =
+                                    Some(conn.machine.error().map_or("write", error_kind));
                             }
                         }
                     }
-                    if !failed {
+                    if fail_kind.is_none() {
                         received.extend(conn.machine.take_plaintext());
                         if received.len() >= payload.len() && !payload.is_empty() {
                             if received == payload {
                                 completed_latency = Some(hs_done_us.unwrap_or(0));
+                                echo_latency = echo_sent_us.map(|t| now - t);
                             } else {
-                                failed = true;
+                                fail_kind = Some("echo_mismatch");
                             }
                         } else if conn.machine.is_peer_closed() {
                             // Peer went away before the echo finished.
-                            failed = true;
+                            fail_kind = Some("premature_close");
                         }
                     }
                 }
@@ -363,13 +438,24 @@ impl EventLoop {
             }
         }
 
-        if failed {
-            self.fail(sid);
+        if let Some((suite, start)) = hs_span {
+            self.spans.record("handshake", start, now);
+            self.registry
+                .counter("serve.handshakes", &[("suite", &suite)])
+                .inc();
+        }
+        if let Some(kind) = fail_kind {
+            self.fail(sid, kind);
             return;
         }
         if let Some(latency) = completed_latency {
             self.handshake_us.push(latency);
+            self.hs_hist.record(latency);
+            if let Some(rtt) = echo_latency {
+                self.echo_hist.record(rtt);
+            }
             self.completed += 1;
+            self.completed_ctr.inc();
         }
         self.flush(sid);
     }
@@ -403,7 +489,7 @@ impl EventLoop {
         }
         let do_close = !failed && conn.want_close && conn.out_pending.is_empty();
         if failed {
-            self.fail(sid);
+            self.fail(sid, "send");
             return;
         }
         if do_close {
@@ -413,12 +499,15 @@ impl EventLoop {
         }
     }
 
-    /// Tears a connection down after an unrecoverable error.
-    fn fail(&mut self, sid: SocketId) {
+    /// Tears a connection down after an unrecoverable error, counting it
+    /// under `serve.errors{kind=...}`.
+    fn fail(&mut self, sid: SocketId, kind: &str) {
         if let Some(conn) = self.conns.remove(&sid) {
             if matches!(conn.kind, ConnKind::Client { .. }) {
                 self.failed += 1;
+                self.failed_ctr.inc();
             }
+            self.registry.counter("serve.errors", &[("kind", kind)]).inc();
         }
         let _ = self.net.with(|w| w.tcp_close(sid));
     }
@@ -464,10 +553,71 @@ impl LoadSpec {
     }
 }
 
+/// A load run's outcome together with the telemetry snapshot taken at
+/// the end: the [`ServeReport`] numbers plus every `serve.*` and `net.*`
+/// metric the run produced. Identical specs give byte-identical
+/// snapshots.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The classic outcome counters and latency samples.
+    pub serve: ServeReport,
+    /// Point-in-time copy of the world's registry at run end.
+    pub snapshot: telemetry::Snapshot,
+}
+
+impl LoadReport {
+    /// The `q`-quantile (0.0..=1.0) handshake latency from the
+    /// `serve.handshake_us` histogram, in virtual microseconds.
+    pub fn handshake_quantile_us(&self, q: f64) -> u64 {
+        self.snapshot
+            .histogram("serve.handshake_us", &[])
+            .map_or(0, |h| h.quantile(q))
+    }
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sessions: {} completed, {} failed ({:.1}/s virtual)",
+            self.serve.completed,
+            self.serve.failed,
+            self.serve.sessions_per_sec()
+        )?;
+        writeln!(
+            f,
+            "handshake_us: p50={} p90={} p99={}",
+            self.handshake_quantile_us(0.50),
+            self.handshake_quantile_us(0.90),
+            self.handshake_quantile_us(0.99)
+        )?;
+        if let Some(h) = self.snapshot.histogram("serve.echo_us", &[]) {
+            writeln!(
+                f,
+                "echo_us: p50={} p90={} p99={}",
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99)
+            )?;
+        }
+        write!(
+            f,
+            "net: {} packets delivered, {} retransmits",
+            self.snapshot.counter("net.packets.delivered", &[]),
+            self.snapshot.counter("net.tcp.retransmits", &[])
+        )
+    }
+}
+
 /// Runs the load generator: `spec.clients` concurrent pre-shared-key
 /// sessions (the RMC suite, AES-128/128) through handshake + echo against
 /// one event-loop server in one deterministic world.
 pub fn run_load(spec: &LoadSpec) -> ServeReport {
+    run_load_report(spec).serve
+}
+
+/// [`run_load`], but also returning the end-of-run telemetry snapshot.
+pub fn run_load_report(spec: &LoadSpec) -> LoadReport {
     let psk = b"rmc2000 shared secret".to_vec();
     let server_cfg = ServerConfig {
         suites: vec![crate::session::CipherSuite::AES128],
@@ -506,7 +656,10 @@ pub fn run_load(spec: &LoadSpec) -> ServeReport {
         );
     }
     el.run(spec.deadline_us);
-    el.report()
+    LoadReport {
+        serve: el.report(),
+        snapshot: el.telemetry().snapshot(),
+    }
 }
 
 #[cfg(test)]
@@ -537,5 +690,122 @@ mod tests {
         let p50 = report.handshake_percentile_us(50.0);
         let p99 = report.handshake_percentile_us(99.0);
         assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn snapshot_mirrors_the_report_and_is_deterministic() {
+        let a = run_load_report(&LoadSpec::concurrency(12));
+        let b = run_load_report(&LoadSpec::concurrency(12));
+        assert_eq!(
+            a.snapshot.to_json(),
+            b.snapshot.to_json(),
+            "same seed, byte-identical telemetry dump"
+        );
+        assert_eq!(a.snapshot.counter("serve.sessions.completed", &[]), 12);
+        assert_eq!(a.snapshot.counter("serve.sessions.failed", &[]), 0);
+        assert_eq!(a.snapshot.counter("serve.accepted", &[]), 12);
+        assert_eq!(
+            a.snapshot
+                .counter("serve.handshakes", &[("suite", "aes128-128")]),
+            12
+        );
+
+        // The histogram saw exactly the latencies the Vec kept.
+        let h = a.snapshot.histogram("serve.handshake_us", &[]).expect("histogram");
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.sum(), a.serve.handshake_us.iter().sum::<u64>());
+        assert_eq!(h.max(), *a.serve.handshake_us.iter().max().unwrap());
+
+        // The same snapshot carries the network layer underneath.
+        assert!(a.snapshot.counter("net.packets.delivered", &[]) > 0);
+        assert!(a.snapshot.counter("net.tcp.bytes_delivered", &[]) > 0);
+
+        let text = format!("{a}");
+        assert!(text.contains("p50="), "load report prints percentiles: {text}");
+        assert!(a.handshake_quantile_us(0.50) <= a.handshake_quantile_us(0.99));
+    }
+
+    #[test]
+    fn handshake_spans_are_recorded_in_virtual_time() {
+        let psk = b"span test".to_vec();
+        let server_cfg = ServerConfig {
+            suites: vec![CipherSuite::AES128],
+            kx: ServerKx::PreShared(psk.clone()),
+        };
+        let client_cfg = ClientConfig {
+            suite: CipherSuite::AES128,
+            kx: ClientKx::PreShared(psk),
+        };
+        let net = Net::new(11);
+        let server_ip = Ipv4::new(10, 0, 0, 1);
+        let server = net.add_host("server", server_ip);
+        let client = net.add_host("client", Ipv4::new(10, 0, 0, 2));
+        net.link(server, client, LinkParams::ethernet_10base_t());
+
+        let mut el = EventLoop::new(&net);
+        el.listen_echo(server, 4433, 4, server_cfg, 3).expect("listen");
+        el.connect_echo_client(
+            client,
+            Endpoint::new(server_ip, 4433),
+            client_cfg,
+            b"ping".to_vec(),
+            5,
+        );
+        el.run(10_000_000);
+
+        let spans = el.spans().spans();
+        assert_eq!(spans.len(), 1, "one handshake span: {spans:?}");
+        assert_eq!(spans[0].name, "handshake");
+        assert!(spans[0].end > spans[0].start, "span has virtual duration");
+        let report = el.report();
+        assert_eq!(report.completed, 1);
+        assert_eq!(spans[0].duration(), report.handshake_us[0]);
+    }
+
+    #[test]
+    fn failed_sessions_land_in_error_counters() {
+        // A client expecting RSA against a pre-shared-key server fails
+        // the handshake; the failure shows up labeled by kind.
+        let psk = b"kx mismatch".to_vec();
+        let server_cfg = ServerConfig {
+            suites: vec![CipherSuite::AES128],
+            kx: ServerKx::PreShared(psk),
+        };
+        let client_cfg = ClientConfig {
+            suite: CipherSuite::AES128,
+            kx: ClientKx::Rsa,
+        };
+        let net = Net::new(13);
+        let server_ip = Ipv4::new(10, 0, 0, 1);
+        let server = net.add_host("server", server_ip);
+        let client = net.add_host("client", Ipv4::new(10, 0, 0, 2));
+        net.link(server, client, LinkParams::ethernet_10base_t());
+
+        let mut el = EventLoop::new(&net);
+        el.listen_echo(server, 4433, 4, server_cfg, 3).expect("listen");
+        el.connect_echo_client(
+            client,
+            Endpoint::new(server_ip, 4433),
+            client_cfg,
+            b"ping".to_vec(),
+            5,
+        );
+        el.run(10_000_000);
+
+        let report = el.report();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 1);
+        let snap = el.telemetry().snapshot();
+        assert_eq!(snap.counter("serve.sessions.failed", &[]), 1);
+        let errors: u64 = snap
+            .entries()
+            .iter()
+            .filter(|(k, _)| k.name == "serve.errors")
+            .map(|(_, v)| match v {
+                telemetry::SnapshotValue::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum();
+        assert!(errors >= 1, "error kind counted: {}", snap.to_text());
     }
 }

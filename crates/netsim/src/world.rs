@@ -181,18 +181,40 @@ fn summarize(body: &Transport) -> String {
 }
 
 /// Counters accumulated while the simulation runs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Each field is a [`telemetry::Counter`] registered in the world's
+/// [`telemetry::Registry`] under a `net.*` name, so a registry snapshot
+/// carries the same numbers. Counters compare against plain integers
+/// (`w.stats.dropped > 0` still reads as before); cloning a `Stats`
+/// shares the underlying cells rather than copying values.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
-    /// Packets handed to a host's stack.
-    pub delivered: u64,
-    /// Packets lost on a link.
-    pub dropped: u64,
-    /// TCP retransmissions sent.
-    pub retransmits: u64,
-    /// Packets with no route to their destination.
-    pub unroutable: u64,
-    /// Application payload bytes delivered in order by TCP.
-    pub tcp_bytes_delivered: u64,
+    /// Packets handed to a host's stack (`net.packets.delivered`).
+    pub delivered: telemetry::Counter,
+    /// Packets lost on a link (`net.packets.dropped`).
+    pub dropped: telemetry::Counter,
+    /// TCP retransmissions sent (`net.tcp.retransmits`).
+    pub retransmits: telemetry::Counter,
+    /// Packets with no route to their destination
+    /// (`net.packets.unroutable`).
+    pub unroutable: telemetry::Counter,
+    /// Application payload bytes delivered in order by TCP
+    /// (`net.tcp.bytes_delivered`).
+    pub tcp_bytes_delivered: telemetry::Counter,
+}
+
+impl Stats {
+    /// Creates the stats block with every counter registered in
+    /// `registry` under its `net.*` name.
+    fn register(registry: &telemetry::Registry) -> Stats {
+        Stats {
+            delivered: registry.counter("net.packets.delivered", &[]),
+            dropped: registry.counter("net.packets.dropped", &[]),
+            retransmits: registry.counter("net.tcp.retransmits", &[]),
+            unroutable: registry.counter("net.packets.unroutable", &[]),
+            tcp_bytes_delivered: registry.counter("net.tcp.bytes_delivered", &[]),
+        }
+    }
 }
 
 /// A per-socket readiness transition, recorded as the TCP machinery
@@ -286,6 +308,7 @@ pub struct World {
     trace: Option<Vec<TraceEntry>>,
     socket_events: VecDeque<SocketEvent>,
     socket_events_enabled: bool,
+    registry: telemetry::Registry,
     /// Wire/stack counters.
     pub stats: Stats,
 }
@@ -293,6 +316,8 @@ pub struct World {
 impl World {
     /// Creates an empty world; `seed` makes loss patterns reproducible.
     pub fn new(seed: u64) -> World {
+        let registry = telemetry::Registry::new();
+        let stats = Stats::register(&registry);
         World {
             now: 0,
             next_event_seq: 0,
@@ -306,8 +331,17 @@ impl World {
             trace: None,
             socket_events: VecDeque::new(),
             socket_events_enabled: false,
-            stats: Stats::default(),
+            registry,
+            stats,
         }
+    }
+
+    /// The world's telemetry registry. The simulator registers its own
+    /// `net.*` counters here; layers built on the world (the serving
+    /// loop, load generators) register theirs in the same registry so
+    /// one snapshot covers the whole stack.
+    pub fn telemetry(&self) -> &telemetry::Registry {
+        &self.registry
     }
 
     /// Turns on readiness-event recording. Off by default so worlds with
@@ -478,7 +512,7 @@ impl World {
                 || (l.b == src_host && self.hosts[l.a.0].ip == dst_ip)
         });
         let Some(li) = link_idx else {
-            self.stats.unroutable += 1;
+            self.stats.unroutable.inc();
             return;
         };
         let dst_host = {
@@ -499,7 +533,7 @@ impl World {
         let dropped = l.params.drop_rate > 0.0 && l.rng.gen::<f64>() < l.params.drop_rate;
         self.record_trace(&packet, dropped);
         if dropped {
-            self.stats.dropped += 1;
+            self.stats.dropped.inc();
             return;
         }
         self.schedule(
@@ -512,7 +546,7 @@ impl World {
     }
 
     fn deliver(&mut self, host: HostId, packet: Packet) {
-        self.stats.delivered += 1;
+        self.stats.delivered.inc();
         match packet.body {
             Transport::Tcp(ref _seg) => self.handle_tcp(host, packet),
             Transport::Udp(UdpDatagram { payload }) => {
@@ -853,7 +887,7 @@ impl World {
             let s = self.sock_mut(id);
             s.rto_us = (s.rto_us * 2).min(MAX_RTO_US);
         }
-        self.stats.retransmits += 1;
+        self.stats.retransmits.inc();
         let state = self.sock(id).state;
         match state {
             TcpState::SynSent => {
@@ -1168,7 +1202,7 @@ impl World {
                         delivered += data.len() as u64;
                         s.recv_buf.extend(&data);
                     }
-                    self.stats.tcp_bytes_delivered += delivered;
+                    self.stats.tcp_bytes_delivered.add(delivered);
                     if was_empty && !self.sock(id).recv_buf.is_empty() {
                         self.push_event(SocketEvent::BytesReady(id));
                     }

@@ -277,6 +277,15 @@ fn stats_count_delivered_bytes() {
     assert!(w.run_until(|w| w.tcp_available(s) == 5000, 100_000));
     assert_eq!(w.stats.tcp_bytes_delivered, 5000);
     assert!(w.stats.delivered > 3, "handshake + data + acks");
+
+    // The same numbers surface through the world's telemetry registry.
+    let snap = w.telemetry().snapshot();
+    assert_eq!(snap.counter("net.tcp.bytes_delivered", &[]), 5000);
+    assert_eq!(
+        snap.counter("net.packets.delivered", &[]),
+        w.stats.delivered.get()
+    );
+    assert!(snap.to_text().contains("net.tcp.bytes_delivered 5000\n"));
 }
 
 #[test]

@@ -129,6 +129,9 @@ pub struct Cpu {
     /// Block cache for [`Cpu::run_fast`]; created lazily on first use and
     /// boxed so the plain interpreter pays nothing for it.
     pub(crate) engine: Option<Box<crate::exec::ExecEngine>>,
+    /// Cycle-attribution profiler; `None` (the default) costs one branch
+    /// per retired instruction and nothing else.
+    pub(crate) profiler: Option<Box<telemetry::CycleProfiler>>,
 }
 
 impl Cpu {
@@ -142,7 +145,22 @@ impl Cpu {
             instructions: 0,
             io_prefix: None,
             engine: None,
+            profiler: None,
         }
+    }
+
+    /// Attaches a cycle profiler whose root frame is the current PC. From
+    /// here on every retired instruction's cycles are attributed to its
+    /// PC and to the live call stack, on either execution engine.
+    pub fn enable_profiler(&mut self) {
+        self.profiler = Some(Box::new(telemetry::CycleProfiler::new(self.regs.pc)));
+    }
+
+    /// Detaches the profiler and returns it (for
+    /// [`telemetry::CycleProfiler::report`]). `None` when none was
+    /// attached.
+    pub fn take_profiler(&mut self) -> Option<telemetry::CycleProfiler> {
+        self.profiler.take().map(|b| *b)
     }
 
     /// Translates a logical address using the current MMU and XPC state.
@@ -399,6 +417,12 @@ impl Cpu {
                     self.regs.pc = req.vector;
                     self.cycles += 13;
                     io.tick(13);
+                    if let Some(p) = self.profiler.as_mut() {
+                        // Dispatch overhead bills to the interrupted PC;
+                        // the handler is a new frame at the vector.
+                        p.record(pc, 13);
+                        p.call(req.vector);
+                    }
                     return Ok(13);
                 }
             }
@@ -407,15 +431,41 @@ impl Cpu {
         if self.halted {
             self.cycles += 2;
             io.tick(2);
+            if let Some(p) = self.profiler.as_mut() {
+                p.record(self.regs.pc, 2);
+            }
             return Ok(2);
         }
 
         let pc0 = self.regs.pc;
         let op = self.fetch8(mem);
+        // `reti` hides behind the 0xED prefix; peek its sub-byte before
+        // `exec` runs, while the PC (and MMU state) still point at it.
+        let ed_sub = if self.profiler.is_some() && op == 0xED {
+            Some(mem.read_phys(self.translate(self.regs.pc)))
+        } else {
+            None
+        };
         let cycles = self.exec(op, pc0, mem, io)?;
         self.cycles += u64::from(cycles);
         self.instructions += 1;
         io.tick(u64::from(cycles));
+        if let Some(p) = self.profiler.as_mut() {
+            // Record first so a call's cycles bill to the caller's stack,
+            // then move the frame pointer for the next instruction.
+            p.record(pc0, u64::from(cycles));
+            match op {
+                // call nn / rst p: the new PC is the frame entry.
+                0xCD | 0xD7 | 0xDF | 0xE7 | 0xEF | 0xFF => p.call(self.regs.pc),
+                0xC9 => p.ret(),
+                // ret cc: taken costs 8 cycles, not-taken 2.
+                0xC0 | 0xC8 | 0xD0 | 0xD8 | 0xE0 | 0xE8 | 0xF0 | 0xF8 if cycles == 8 => {
+                    p.ret();
+                }
+                0xED if ed_sub == Some(0x4D) => p.ret(), // reti
+                _ => {}
+            }
+        }
         Ok(cycles)
     }
 

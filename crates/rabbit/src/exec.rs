@@ -711,6 +711,7 @@ impl Cpu {
             }
 
             engine.sync_seg(self);
+            let block_pc = self.regs.pc;
             let key = block_key(self.regs.pc, self);
             let block = if let Some(b) = engine.blocks.get(&key) {
                 Rc::clone(b)
@@ -732,10 +733,12 @@ impl Cpu {
             let mut acc: u32 = 0;
             let mut aborted = false;
             let mut retired: u64 = 0;
+            let mut body_retired: usize = 0;
             for dop in &block.body {
                 self.exec_body(dop.op, mem, &map);
                 acc += u32::from(dop.cycles);
                 retired += 1;
+                body_retired += 1;
                 if !mem.dirty_pages.is_empty() && engine.drain_dirty(mem, Some(&block)) {
                     // The block modified its own code: resume at the next
                     // instruction, which will be freshly decoded.
@@ -744,9 +747,12 @@ impl Cpu {
                     break;
                 }
             }
+            let mut term_cycles = None;
             if !aborted {
                 if let Some((op, next_pc)) = block.term {
-                    acc += self.exec_term(op, next_pc, mem, &map);
+                    let c = self.exec_term(op, next_pc, mem, &map);
+                    term_cycles = Some(c);
+                    acc += c;
                     retired += 1;
                     if !mem.dirty_pages.is_empty() {
                         engine.drain_dirty(mem, None);
@@ -758,8 +764,45 @@ impl Cpu {
             self.cycles += u64::from(acc);
             self.instructions += retired;
             io.tick(u64::from(acc));
+            if self.profiler.is_some() {
+                self.profile_block(&block, block_pc, body_retired, term_cycles);
+            }
         }
         Ok(self.cycles - start)
+    }
+
+    /// Replays a just-executed block's PC chain into the profiler. The
+    /// body ops carry their own cycle costs; the terminator's actual cost
+    /// (`term_cycles`, `None` when the block aborted or had no
+    /// terminator) disambiguates taken vs not-taken `ret cc`. Only called
+    /// when a profiler is attached — the disabled-path cost is one
+    /// `is_some` check per block.
+    fn profile_block(
+        &mut self,
+        block: &Block,
+        block_pc: u16,
+        body_retired: usize,
+        term_cycles: Option<u32>,
+    ) {
+        let Some(p) = self.profiler.as_mut() else {
+            return;
+        };
+        let mut pc = block_pc;
+        for dop in block.body.iter().take(body_retired) {
+            p.record(pc, u64::from(dop.cycles));
+            pc = dop.next_pc;
+        }
+        if let (Some(cycles), Some((op, _))) = (term_cycles, block.term) {
+            // Record before the frame change, as the interpreter does.
+            p.record(pc, u64::from(cycles));
+            match op {
+                Op::Call(nn) => p.call(nn),
+                Op::Rst(target) => p.call(target),
+                Op::Ret | Op::Reti => p.ret(),
+                Op::RetCc(_) if cycles == 8 => p.ret(),
+                _ => {}
+            }
+        }
     }
 
     #[allow(clippy::too_many_lines)]

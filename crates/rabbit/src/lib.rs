@@ -64,3 +64,7 @@ pub use disasm::{disassemble, listing, Decoded};
 pub use io::{Interrupt, IoSpace, NullIo};
 pub use mem::{Memory, Mmu};
 pub use registers::{Flags, Reg16, Reg8, Registers};
+
+// The profiler the CPU hooks feed lives in `telemetry`; re-exported so
+// ISS users get attribution without naming a second crate.
+pub use telemetry::{CycleProfiler, ProfileReport, SymbolTable};

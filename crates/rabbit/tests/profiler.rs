@@ -1,0 +1,118 @@
+//! The cycle profiler must attribute every retired cycle, agree between
+//! the two execution engines, and produce byte-identical reports across
+//! runs.
+
+use rabbit::{assemble, Cpu, Engine, Memory, NullIo, SymbolTable};
+
+/// A program with a two-level call tree: main calls `square` in a loop,
+/// `square` calls `mul16`.
+const PROGRAM: &str = "        org 0x4000\n\
+     start:  ld sp, 0xDFF0\n\
+             ld hl, 0\n\
+             ld b, 12\n\
+     again:  push bc\n\
+             call square\n\
+             pop bc\n\
+             djnz again\n\
+             halt\n\
+     square: ld bc, 7\n\
+             ld de, 7\n\
+             call mul16\n\
+             ret\n\
+     mul16:  mul\n\
+             ld h, b\n\
+             ld l, c\n\
+             ret\n";
+
+/// Points the stack window (0xD000..0xE000 under the default SEGSIZE) at
+/// the bottom of SRAM; with the reset mapping it would sit in flash,
+/// where pushes are silently dropped.
+fn map_stack_to_sram(cpu: &mut Cpu) {
+    cpu.mmu.stackseg = 0x73; // 0xD000 + 0x73000 = SRAM_BASE (0x80000)
+}
+
+fn run_profiled(engine: Engine) -> (u64, String) {
+    let image = assemble(PROGRAM).expect("assembles");
+    let mut mem = Memory::new();
+    image.load_into(&mut mem);
+    let mut cpu = Cpu::new();
+    map_stack_to_sram(&mut cpu);
+    cpu.regs.pc = 0x4000;
+    cpu.enable_profiler();
+    cpu.run_on(engine, &mut mem, &mut NullIo, 1_000_000)
+        .expect("runs clean");
+    assert!(cpu.halted, "program halts");
+    let profiler = cpu.take_profiler().expect("profiler attached");
+    let symbols = SymbolTable::from_pairs(
+        image.symbols.iter().map(|(name, &addr)| (name.as_str(), addr)),
+    );
+    let report = profiler.report(&symbols);
+    (cpu.cycles, report.to_json())
+}
+
+#[test]
+fn both_engines_attribute_identically() {
+    let (cycles_interp, json_interp) = run_profiled(Engine::Interpreter);
+    let (cycles_block, json_block) = run_profiled(Engine::BlockCache);
+    assert_eq!(cycles_interp, cycles_block, "engines are cycle-exact");
+    assert_eq!(json_interp, json_block, "profiles agree across engines");
+}
+
+#[test]
+fn every_cycle_is_attributed_and_stacks_nest() {
+    let image = assemble(PROGRAM).expect("assembles");
+    let mut mem = Memory::new();
+    image.load_into(&mut mem);
+    let mut cpu = Cpu::new();
+    map_stack_to_sram(&mut cpu);
+    cpu.regs.pc = 0x4000;
+    cpu.enable_profiler();
+    cpu.run_on(Engine::BlockCache, &mut mem, &mut NullIo, 1_000_000)
+        .expect("runs clean");
+    assert!(cpu.halted, "program halts");
+    let halted_at = cpu.cycles;
+    let profiler = cpu.take_profiler().expect("profiler attached");
+    let symbols = SymbolTable::from_pairs(
+        image.symbols.iter().map(|(name, &addr)| (name.as_str(), addr)),
+    );
+    let report = profiler.report(&symbols);
+
+    // Everything the CPU retired is in the profile, and every PC has a
+    // label (the whole program is assembled from labeled source).
+    assert_eq!(report.total, halted_at, "no cycles lost");
+    assert_eq!(report.attributed, report.total, "fully labeled source");
+    assert!((report.attributed_fraction() - 1.0).abs() < f64::EPSILON);
+
+    // The call tree shows up as nested collapsed stacks.
+    let collapsed = report.collapsed();
+    assert!(
+        collapsed.contains("start;square;mul16 "),
+        "two-level nesting recorded:\n{collapsed}"
+    );
+    // mul16 runs 12 times x (mul 12 + ld 2 + ld 2 + ret 8) = 288 cycles.
+    let mul_row = report
+        .rows
+        .iter()
+        .find(|r| r.symbol == "mul16")
+        .expect("mul16 attributed");
+    assert_eq!(mul_row.cycles, 12 * 24);
+}
+
+#[test]
+fn disabled_profiler_changes_nothing() {
+    let image = assemble(PROGRAM).expect("assembles");
+    let run = |profile: bool| {
+        let mut mem = Memory::new();
+        image.load_into(&mut mem);
+        let mut cpu = Cpu::new();
+        map_stack_to_sram(&mut cpu);
+        cpu.regs.pc = 0x4000;
+        if profile {
+            cpu.enable_profiler();
+        }
+        cpu.run_on(Engine::BlockCache, &mut mem, &mut NullIo, 1_000_000)
+            .expect("runs clean");
+        (cpu.cycles, cpu.instructions, cpu.regs.hl())
+    };
+    assert_eq!(run(false), run(true), "profiling is observation only");
+}

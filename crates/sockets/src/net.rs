@@ -54,6 +54,12 @@ impl Net {
     pub fn step(&self) -> bool {
         self.world.lock().expect("world lock").step()
     }
+
+    /// The world's telemetry registry (cheap clone of a shared handle);
+    /// `net.*` counters and anything layered on this world record here.
+    pub fn telemetry(&self) -> telemetry::Registry {
+        self.world.lock().expect("world lock").telemetry().clone()
+    }
 }
 
 impl std::fmt::Debug for Net {

@@ -1,0 +1,269 @@
+//! Fixed-bucket log-linear histograms with bounded-error quantiles.
+//!
+//! The bucket layout is the classic HDR shape: values `0..32` get one
+//! bucket each (exact), and every power-of-two octave above that is split
+//! into 32 linear sub-buckets. Quantiles therefore carry a relative error
+//! of at most 1/32 (~3.1%) plus one unit, while the whole `u64` range
+//! fits in a fixed [`BUCKETS`]-slot array — no allocation on record, no
+//! data-dependent layout, byte-identical dumps for identical inputs.
+//!
+//! Merging two histograms adds bucket counts; merge is associative and
+//! commutative (pinned by property tests), so per-shard histograms can be
+//! combined in any order without changing the dump.
+
+use std::sync::{Arc, Mutex};
+
+/// Linear sub-buckets per octave. Bounds quantile relative error at
+/// `1/SUB_BUCKETS`.
+const SUB_BUCKETS: u64 = 32;
+
+/// Total bucket count: 32 exact unit buckets plus 32 sub-buckets for each
+/// of the 59 octaves `2^5..2^64`.
+pub const BUCKETS: usize = 32 + 59 * 32;
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize; // 5..=63
+        let sub = ((v >> (e - 5)) & (SUB_BUCKETS - 1)) as usize;
+        32 + (e - 5) * 32 + sub
+    }
+}
+
+/// Inclusive `(lo, hi)` value range of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 32 {
+        (i as u64, i as u64)
+    } else {
+        let octave = (i - 32) / 32;
+        let sub = ((i - 32) % 32) as u64;
+        let lo = (32 + sub) << octave;
+        let width = 1u64 << octave;
+        (lo, lo + (width - 1))
+    }
+}
+
+/// The plain histogram data: a fixed bucket array plus count/sum/min/max.
+/// This is the mergeable, snapshot-able value type; [`Histogram`] is the
+/// shared recording handle around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> HistogramData {
+        HistogramData::new()
+    }
+}
+
+impl HistogramData {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> HistogramData {
+        HistogramData {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every recorded value of `other` into `self`. Associative and
+    /// commutative: merging a set of histograms in any order yields the
+    /// same result.
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), nearest-rank over buckets,
+    /// reported as the upper bound of the rank's bucket clamped to the
+    /// observed maximum. Guaranteed `>=` the exact quantile of the
+    /// recorded multiset and within `exact/32 + 1` of it; 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending — the
+    /// deterministic export shape.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// A cloneable recording handle over a shared [`HistogramData`]; what
+/// [`crate::Registry::histogram`] hands out.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<Mutex<HistogramData>>,
+}
+
+impl Histogram {
+    /// A standalone histogram (not registered anywhere).
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.inner.lock().expect("histogram lock").record(v);
+    }
+
+    /// A snapshot of the current data.
+    #[must_use]
+    pub fn data(&self) -> HistogramData {
+        self.inner.lock().expect("histogram lock").clone()
+    }
+
+    /// Shortcut for `data().quantile(q)`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.inner.lock().expect("histogram lock").quantile(q)
+    }
+
+    /// Shortcut for `data().count()`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.lock().expect("histogram lock").count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = HistogramData::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for v in 0..32u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+        assert_eq!(h.quantile(1.0), 31);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_range() {
+        // Every boundary value maps into a bucket whose range contains it,
+        // and consecutive buckets tile without gaps.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap after bucket {i}");
+        }
+        for v in [0, 1, 31, 32, 33, 63, 64, 1000, u32::MAX as u64, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside its bucket [{lo}, {hi}]");
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_bounds_error() {
+        let mut h = HistogramData::new();
+        let values: Vec<u64> = (0..1000u64).map(|i| i * i * 37 + 5).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.quantile(q);
+            assert!(approx >= exact, "q={q}: {approx} < exact {exact}");
+            assert!(
+                approx - exact <= exact / 32 + 1,
+                "q={q}: {approx} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = HistogramData::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic observability for the whole stack.
+//!
+//! The paper's entire evaluation (§6) is measurement — cycle counts and
+//! code bytes — yet the repro had no first-class way to observe itself.
+//! This crate is that layer, built around one hard rule: **identical
+//! seeds produce byte-identical dumps**. Nothing in here reads a clock,
+//! the OS, or pointer addresses; all time is virtual (`netsim::World::now`
+//! microseconds or Rabbit ISS cycle counts), all iteration orders are
+//! total orders over names.
+//!
+//! Four pieces:
+//!
+//! * [`Registry`] — counters, gauges and fixed-bucket log-linear
+//!   [`Histogram`]s keyed by static name + label set, snapshot-able into
+//!   deterministic text and JSON dumps ([`Snapshot`]).
+//! * [`Ring`] — the one bounded-buffer implementation shared by
+//!   `issl::CircularLog` and the span recorder (the paper's "make logging
+//!   write to a circular buffer" rework, §5).
+//! * [`SpanRecorder`] — virtual-time tracing spans with enter/exit
+//!   nesting, recorded into a [`Ring`].
+//! * [`CycleProfiler`] — per-PC and per-symbol cycle attribution for the
+//!   Rabbit ISS, call-stack aware, with a flamegraph-style
+//!   collapsed-stack exporter ([`ProfileReport`]). Symbols come from the
+//!   assembler's label table ([`SymbolTable`]).
+
+pub mod hist;
+pub mod metrics;
+pub mod profile;
+pub mod ring;
+pub mod span;
+
+pub use hist::{Histogram, HistogramData, BUCKETS};
+pub use metrics::{Counter, Gauge, MetricKey, Registry, Snapshot, SnapshotValue};
+pub use profile::{CycleProfiler, ProfileReport, SymbolCycles, SymbolTable};
+pub use ring::Ring;
+pub use span::{SpanRecord, SpanRecorder};
+
+/// Escapes a string for inclusion in a JSON dump. Only the escapes the
+/// dumps can actually need (quotes, backslashes, control bytes); output
+/// is deterministic byte-for-byte.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

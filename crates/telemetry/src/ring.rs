@@ -1,0 +1,137 @@
+//! The one bounded buffer.
+//!
+//! The paper's §5 rework — "make logging write to a circular buffer
+//! rather than a file" — originally lived as a `VecDeque` copy inside
+//! `issl::CircularLog`. The span recorder needs the same shape, so both
+//! now share this fixed-capacity ring: memory use is bounded forever and
+//! old entries fall off the front, with an eviction count kept for
+//! honesty.
+
+/// A fixed-capacity ring. Pushing past capacity evicts the oldest entry.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    /// Index of the oldest entry once the buffer has wrapped.
+    head: usize,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Ring<T> {
+        assert!(capacity > 0, "a zero-capacity ring is no ring at all");
+        Ring {
+            buf: Vec::new(),
+            head: 0,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Drops every entry, keeping the capacity (the eviction count is
+    /// preserved — it counts lifetime evictions, not current content).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Ring<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, T>, std::slice::Iter<'a, T>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = Ring::new(4);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn wraps_and_evicts_oldest_first() {
+        let mut r = Ring::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(r.dropped(), 7);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut r = Ring::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        r.clear();
+        assert!(r.is_empty());
+        r.push(9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![9]);
+        assert_eq!(r.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _ = Ring::<u8>::new(0);
+    }
+}

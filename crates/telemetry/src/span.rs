@@ -1,0 +1,139 @@
+//! Virtual-time tracing spans.
+//!
+//! A span is a named interval on a virtual clock — `netsim::World::now()`
+//! microseconds or Rabbit ISS cycles; the recorder never reads a real
+//! clock. Spans nest: `enter`/`exit` maintain a depth counter so the
+//! recorded stream can be re-indented into a trace. Completed spans land
+//! in a bounded [`Ring`], so a long run keeps the most recent window and
+//! counts what it evicted.
+
+use crate::ring::Ring;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static label, e.g. `handshake`).
+    pub name: String,
+    /// Virtual start time.
+    pub start: u64,
+    /// Virtual end time.
+    pub end: u64,
+    /// Nesting depth at the time the span was opened (0 = top level).
+    pub depth: usize,
+}
+
+impl SpanRecord {
+    /// Span duration in virtual ticks.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Records completed spans into a bounded ring, oldest evicted first.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    ring: Ring<SpanRecord>,
+    /// Open spans: (name, start, depth).
+    open: Vec<(String, u64)>,
+}
+
+impl SpanRecorder {
+    /// A recorder retaining at most `capacity` completed spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> SpanRecorder {
+        SpanRecorder {
+            ring: Ring::new(capacity),
+            open: Vec::new(),
+        }
+    }
+
+    /// Opens a span named `name` at virtual time `now`.
+    pub fn enter(&mut self, name: &str, now: u64) {
+        self.open.push((name.to_string(), now));
+    }
+
+    /// Closes the most recently opened span at virtual time `now` and
+    /// records it. A stray exit with no open span is ignored.
+    pub fn exit(&mut self, now: u64) {
+        if let Some((name, start)) = self.open.pop() {
+            let depth = self.open.len();
+            self.ring.push(SpanRecord {
+                name,
+                start,
+                end: now,
+                depth,
+            });
+        }
+    }
+
+    /// Records a complete span directly, at the current nesting depth.
+    /// Useful when the caller already knows both endpoints.
+    pub fn record(&mut self, name: &str, start: u64, end: u64) {
+        self.ring.push(SpanRecord {
+            name: name.to_string(),
+            start,
+            end,
+            depth: self.open.len(),
+        });
+    }
+
+    /// Completed spans, oldest first.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Spans evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Currently open (unclosed) spans.
+    #[must_use]
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_nesting_records_depth() {
+        let mut r = SpanRecorder::new(8);
+        r.enter("outer", 10);
+        r.enter("inner", 20);
+        r.exit(30); // inner
+        r.exit(50); // outer
+        let spans = r.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[0].duration(), 10);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].duration(), 40);
+    }
+
+    #[test]
+    fn ring_bounds_retention() {
+        let mut r = SpanRecorder::new(2);
+        for i in 0..5u64 {
+            r.record("s", i, i + 1);
+        }
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.spans()[0].start, 3);
+    }
+
+    #[test]
+    fn stray_exit_is_ignored() {
+        let mut r = SpanRecorder::new(2);
+        r.exit(5);
+        assert!(r.spans().is_empty());
+        assert_eq!(r.open_depth(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests pinning the histogram's two contracts: quantiles stay
+//! within the documented error bound of the exact quantile, and merge is
+//! associative (so per-shard histograms combine in any order).
+
+use proptest::prelude::*;
+use telemetry::HistogramData;
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_stay_within_error_bound(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        qx in 0usize..=100,
+    ) {
+        let q = qx as f64 / 100.0;
+        let mut h = HistogramData::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let approx = h.quantile(q);
+        prop_assert!(approx >= exact, "approx {} below exact {}", approx, exact);
+        prop_assert!(
+            approx - exact <= exact / 32 + 1,
+            "approx {} too far above exact {} (bound {})",
+            approx, exact, exact / 32 + 1
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX / 4, 0..50),
+        b in proptest::collection::vec(0u64..u64::MAX / 4, 0..50),
+        c in proptest::collection::vec(0u64..u64::MAX / 4, 0..50),
+    ) {
+        let build = |vals: &[u64]| {
+            let mut h = HistogramData::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a + b) + c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a + (b + c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // c + b + a (commutativity)
+        let mut rev = hc.clone();
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(&left, &rev);
+
+        // Merge result matches recording everything into one histogram.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &build(&all));
+    }
+}
