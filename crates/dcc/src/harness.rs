@@ -59,15 +59,11 @@ impl From<CompileError> for HarnessError {
 }
 
 /// Maps a logical address to its physical load address under the standard
-/// machine configuration.
+/// machine configuration. One definition for the whole repo: this is
+/// `rabbit::fwmap::load_phys`, which `rmc2000::Board::load` uses too, so
+/// harness-run programs and board-run firmware share a memory map.
 pub fn load_phys(addr: u16) -> u32 {
-    if addr >= layout::XMEM_DATA_ORG {
-        u32::from(addr) + u32::from(layout::XMEM_XPC) * 0x1000
-    } else if addr >= layout::ROOT_DATA_ORG {
-        u32::from(addr) + 0x78000
-    } else {
-        u32::from(addr)
-    }
+    rabbit::fwmap::load_phys(addr)
 }
 
 /// Compiles and assembles a program.
@@ -110,10 +106,10 @@ impl Build {
             mem.load(load_phys(s.addr), &s.bytes);
         }
         let mut cpu = Cpu::new();
-        cpu.mmu.segsize = 0xD8; // data segment 0x8000, stack segment 0xD000
-        cpu.mmu.dataseg = 0x78; // logical 0x8000 -> phys 0x80000 (SRAM)
-        cpu.mmu.stackseg = 0x78;
-        cpu.regs.sp = 0xDFF0;
+        cpu.mmu.segsize = rabbit::fwmap::SEGSIZE_RESET; // data seg 0x8000, stack seg 0xD000
+        cpu.mmu.dataseg = rabbit::fwmap::DATASEG_PAGE; // logical 0x8000 -> phys 0x80000 (SRAM)
+        cpu.mmu.stackseg = rabbit::fwmap::STACKSEG_PAGE;
+        cpu.regs.sp = rabbit::fwmap::SP_RESET;
         cpu.regs.pc = layout::CODE_ORG;
         (cpu, mem)
     }
@@ -229,6 +225,16 @@ impl Build {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn layout_matches_the_shared_firmware_map() {
+        // The codegen layout constants must agree with the repo-wide
+        // convention in `rabbit::fwmap` that `load_phys` is defined by.
+        assert_eq!(layout::CODE_ORG, rabbit::fwmap::CODE_ORG);
+        assert_eq!(layout::ROOT_DATA_ORG, rabbit::fwmap::ROOT_DATA_ORG);
+        assert_eq!(layout::XMEM_DATA_ORG, rabbit::fwmap::XMEM_DATA_ORG);
+        assert_eq!(layout::XMEM_XPC, rabbit::fwmap::XMEM_XPC);
+    }
 
     fn run(src: &str, opts: Options) -> u16 {
         build(src, opts)

@@ -53,6 +53,7 @@ pub mod asm;
 pub mod cpu;
 pub mod disasm;
 pub mod exec;
+pub mod fwmap;
 pub mod io;
 pub mod isa;
 pub mod mem;
@@ -61,7 +62,7 @@ pub mod registers;
 pub use asm::{assemble, AsmError, Image, Section};
 pub use cpu::{Cond, Cpu, Engine, Fault};
 pub use disasm::{disassemble, listing, Decoded};
-pub use io::{Interrupt, IoSpace, NullIo};
+pub use io::{Bus, Device, DeviceId, Interrupt, IoSpace, NullIo, PortRange};
 pub use mem::{Memory, Mmu};
 pub use registers::{Flags, Reg16, Reg8, Registers};
 

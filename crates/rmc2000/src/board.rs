@@ -1,60 +1,56 @@
 //! The assembled board: a Rabbit 2000 CPU, 512 KiB flash + 128 KiB SRAM,
-//! serial port A with interrupts, a free-running real-time clock, and the
-//! `defineErrorHandler` dispatch of the paper's §4.1.
+//! a device bus carrying serial port A, a free-running real-time clock,
+//! and (optionally) the NIC, plus the `defineErrorHandler` dispatch of
+//! the paper's §4.1.
+
+use std::any::Any;
 
 use dynamicc::{Disposition, ErrorHandler, ErrorInfo, ErrorKind};
 use rabbit::io::ports;
-use rabbit::{Cpu, Fault, Image, Interrupt, IoSpace, Memory};
+use rabbit::{Bus, Cpu, Device, DeviceId, Engine, Fault, Image, IoSpace, Memory, PortRange};
 
+use crate::nic::Nic;
 use crate::serial::SerialPort;
 
-/// The I/O complex of the board.
+/// The free-running real-time clock: a cycle counter latched into the
+/// `RTC0..RTC5` registers when `RTC0` is read.
 #[derive(Debug, Default)]
-pub struct BoardIo {
-    /// Serial port A.
-    pub serial: SerialPort,
-    /// Free-running clock (CPU cycles), latched into the RTC registers.
-    pub rtc_cycles: u64,
-    rtc_latch: u64,
-    /// Raw writes to otherwise unmodelled ports (visible for tests).
-    pub port_writes: Vec<(u16, u8)>,
+pub struct Rtc {
+    /// Cycles elapsed since power-up.
+    pub cycles: u64,
+    latch: u64,
 }
 
-impl IoSpace for BoardIo {
-    fn io_read(&mut self, port: u16, _external: bool) -> u8 {
-        if let Some(v) = self.serial.read(port) {
-            return v;
-        }
-        match port {
-            // RTC: reading RTC0 latches the count; RTC0..RTC5 expose it.
-            ports::RTC0 => {
-                self.rtc_latch = self.rtc_cycles;
-                self.rtc_latch as u8
-            }
-            p if (ports::RTC0..ports::RTC0 + 6).contains(&p) => {
-                (self.rtc_latch >> (8 * (p - ports::RTC0))) as u8
-            }
-            _ => 0xFF,
-        }
+impl Device for Rtc {
+    fn name(&self) -> &'static str {
+        "rtc"
     }
 
-    fn io_write(&mut self, port: u16, value: u8, _external: bool) {
-        if self.serial.write(port, value) {
-            return;
+    fn claims(&self) -> Vec<PortRange> {
+        vec![PortRange::internal(ports::RTC0, ports::RTC0 + 5)]
+    }
+
+    fn read(&mut self, port: u16, _external: bool) -> u8 {
+        if port == ports::RTC0 {
+            self.latch = self.cycles;
         }
-        self.port_writes.push((port, value));
+        (self.latch >> (8 * (port - ports::RTC0))) as u8
     }
 
-    fn pending_interrupt(&mut self) -> Option<Interrupt> {
-        self.serial.pending()
-    }
-
-    fn acknowledge_interrupt(&mut self, _vector: u16) {
-        self.serial.acknowledge();
+    fn write(&mut self, _port: u16, _value: u8, _external: bool) {
+        // Read-only in this model.
     }
 
     fn tick(&mut self, cycles: u64) {
-        self.rtc_cycles += cycles;
+        self.cycles += cycles;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -77,29 +73,85 @@ pub struct Board {
     pub cpu: Cpu,
     /// Flash + SRAM.
     pub mem: Memory,
-    /// Peripherals.
-    pub io: BoardIo,
+    /// The device bus (serial port A, RTC, optionally the NIC).
+    pub bus: Bus,
     /// The registered error handler (`defineErrorHandler`).
     pub errors: ErrorHandler,
     /// Number of resets performed by the error handler.
     pub resets: u64,
+    /// Execution engine [`Board::run`] dispatches to.
+    pub engine: Engine,
+    serial_id: DeviceId,
+    rtc_id: DeviceId,
+    nic_id: Option<DeviceId>,
 }
 
 impl Board {
     /// A powered-up board with the standard firmware memory map (data
     /// segment at 0x8000 → SRAM, stack segment backed by SRAM).
     pub fn new() -> Board {
+        Board::with_engine(Engine::BlockCache)
+    }
+
+    /// A board whose [`Board::run`] uses the given execution engine.
+    pub fn with_engine(engine: Engine) -> Board {
         let mut cpu = Cpu::new();
-        cpu.mmu.segsize = 0xD8;
-        cpu.mmu.dataseg = 0x78;
-        cpu.mmu.stackseg = 0x78;
-        cpu.regs.sp = 0xDFF0;
+        cpu.mmu.segsize = rabbit::fwmap::SEGSIZE_RESET;
+        cpu.mmu.dataseg = rabbit::fwmap::DATASEG_PAGE;
+        cpu.mmu.stackseg = rabbit::fwmap::STACKSEG_PAGE;
+        cpu.regs.sp = rabbit::fwmap::SP_RESET;
+        let mut bus = Bus::new();
+        let serial_id = bus.attach(Box::new(SerialPort::new()));
+        let rtc_id = bus.attach(Box::new(Rtc::default()));
         Board {
             cpu,
             mem: Memory::new(),
-            io: BoardIo::default(),
+            bus,
             errors: ErrorHandler::new(),
             resets: 0,
+            engine,
+            serial_id,
+            rtc_id,
+            nic_id: None,
+        }
+    }
+
+    /// Plugs a NIC into the bus (at most one).
+    ///
+    /// # Panics
+    ///
+    /// If a NIC is already attached.
+    pub fn attach_nic(&mut self, nic: Nic) {
+        assert!(self.nic_id.is_none(), "NIC already attached");
+        self.nic_id = Some(self.bus.attach(Box::new(nic)));
+    }
+
+    /// Serial port A.
+    pub fn serial(&self) -> &SerialPort {
+        self.bus.device(self.serial_id)
+    }
+
+    /// Serial port A, mutably (host side: inject characters, read the
+    /// transmit capture).
+    pub fn serial_mut(&mut self) -> &mut SerialPort {
+        self.bus.device_mut(self.serial_id)
+    }
+
+    /// The real-time clock.
+    pub fn rtc(&self) -> &Rtc {
+        self.bus.device(self.rtc_id)
+    }
+
+    /// The NIC, when one is attached.
+    pub fn nic(&self) -> Option<&Nic> {
+        self.nic_id.map(|id| self.bus.device(id))
+    }
+
+    /// The NIC, mutably, when one is attached.
+    pub fn nic_mut(&mut self) -> Option<&mut Nic> {
+        match self.nic_id {
+            Some(id) => Some(self.bus.device_mut(id)),
+            None => None,
         }
     }
 
@@ -122,7 +174,7 @@ impl Board {
     /// error handler exactly as the hardware routes them through
     /// `defineErrorHandler`.
     pub fn step(&mut self) -> Option<RunOutcome> {
-        match self.cpu.step(&mut self.mem, &mut self.io) {
+        match self.cpu.step(&mut self.mem, &mut self.bus) {
             Ok(_) => None,
             Err(fault) => self.route_fault(fault),
         }
@@ -151,20 +203,20 @@ impl Board {
         let mmu = self.cpu.mmu;
         self.cpu = Cpu::new();
         self.cpu.mmu = mmu;
-        self.cpu.regs.sp = 0xDFF0;
+        self.cpu.regs.sp = rabbit::fwmap::SP_RESET;
         self.resets += 1;
     }
 
     /// Runs until halt, fault-handler stop, or the cycle budget runs out.
     ///
-    /// Execution goes through the block-caching engine
-    /// ([`Cpu::run_fast`]); waiting in `halt` for an interrupt falls back
-    /// to single-stepping so wake-up priority checks behave exactly as
-    /// before.
+    /// Execution goes through [`Board::engine`] (the block-caching engine
+    /// by default); waiting in `halt` for an interrupt falls back to
+    /// single-stepping so wake-up priority checks behave exactly as
+    /// before — and identically on either engine.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let start = self.cpu.cycles;
         loop {
-            if self.cpu.halted && self.io.pending_interrupt().is_none() {
+            if self.cpu.halted && self.bus.pending_interrupt().is_none() {
                 return RunOutcome::Halted;
             }
             if self.cpu.cycles - start >= max_cycles {
@@ -174,7 +226,10 @@ impl Board {
                 self.step()
             } else {
                 let left = max_cycles - (self.cpu.cycles - start);
-                match self.cpu.run_fast(&mut self.mem, &mut self.io, left) {
+                match self
+                    .cpu
+                    .run_on(self.engine, &mut self.mem, &mut self.bus, left)
+                {
                     Ok(_) => None,
                     Err(fault) => self.route_fault(fault),
                 }
@@ -185,6 +240,20 @@ impl Board {
                 }
             }
         }
+    }
+
+    /// Lets a halted CPU sleep for up to `max_cycles`, ticking the bus at
+    /// the halted-CPU rate (2 cycles per idle step) so peripherals — and
+    /// the NIC's netsim world — keep advancing while the guest waits for
+    /// an interrupt. Returns true when an interrupt woke the CPU. The
+    /// idle path is engine-independent by construction.
+    pub fn idle(&mut self, max_cycles: u64) -> bool {
+        let start = self.cpu.cycles;
+        while self.cpu.halted && self.cpu.cycles - start < max_cycles {
+            // A halted step cannot fault: it either idles or dispatches.
+            let _ = self.cpu.step(&mut self.mem, &mut self.bus);
+        }
+        !self.cpu.halted
     }
 
     /// Runs until the predicate on the board holds (checked between
@@ -216,6 +285,7 @@ impl std::fmt::Debug for Board {
         f.debug_struct("Board")
             .field("cpu", &self.cpu.regs)
             .field("cycles", &self.cpu.cycles)
+            .field("bus", &self.bus)
             .field("resets", &self.resets)
             .finish()
     }

@@ -1,0 +1,171 @@
+//! Guest firmware building blocks for the NIC: assembly shims
+//! (`nic_send`, `nic_recv`), an interrupt service routine, and the
+//! reference echo-server firmware the end-to-end tests assemble.
+//!
+//! The shims are the assembly the paper's Dynamic C library calls would
+//! compile to: explicit `ioe`-prefixed loads and stores against the NIC's
+//! register bank and packet windows (see [`crate::nic`] for the map).
+
+use crate::nic::{
+    CMD_LISTEN, CMD_RX_NEXT, CMD_TX_GO, NIC_CMD, NIC_IER, NIC_LPORT_HI, NIC_LPORT_LO, NIC_RXLEN_HI,
+    NIC_RXLEN_LO, NIC_RX_WINDOW, NIC_STATUS, NIC_TXLEN_HI, NIC_TXLEN_LO, NIC_TX_WINDOW, NIC_VECTOR,
+    STATUS_RX_AVAIL,
+};
+
+/// Default scratch buffer the echo ISR bounces frames through (root
+/// data segment → SRAM).
+pub const ECHO_BUF: u16 = 0x9000;
+
+/// `equ` definitions for the NIC register map, shared by every shim.
+pub fn nic_equates() -> String {
+    format!(
+        "NICCMD  equ {NIC_CMD:#06x}\n\
+         NICST   equ {NIC_STATUS:#06x}\n\
+         NICIER  equ {NIC_IER:#06x}\n\
+         NICRXL  equ {NIC_RXLEN_LO:#06x}\n\
+         NICRXH  equ {NIC_RXLEN_HI:#06x}\n\
+         NICTXL  equ {NIC_TXLEN_LO:#06x}\n\
+         NICTXH  equ {NIC_TXLEN_HI:#06x}\n\
+         NICPRTL equ {NIC_LPORT_LO:#06x}\n\
+         NICPRTH equ {NIC_LPORT_HI:#06x}\n\
+         NICRXW  equ {NIC_RX_WINDOW:#06x}\n\
+         NICTXW  equ {NIC_TX_WINDOW:#06x}\n"
+    )
+}
+
+/// The `nic_recv` and `nic_send` subroutines.
+///
+/// * `nic_recv`: copies the current receive frame to the buffer at `DE`
+///   and consumes it (`RX_NEXT`). Returns the length in `BC` (0 when no
+///   frame was pending). Clobbers `A`, `HL`, `DE`.
+/// * `nic_send`: transmits `BC` bytes starting at `HL` (staged through
+///   the tx window, then `TX_GO`). Clobbers `A`, `HL`, `DE`, `BC`.
+pub fn nic_shims() -> String {
+    format!(
+        "nic_recv:\n\
+         \x20       ioe ld a, (NICRXL)\n\
+         \x20       ld c, a\n\
+         \x20       ioe ld a, (NICRXH)\n\
+         \x20       ld b, a\n\
+         \x20       ld a, b\n\
+         \x20       or c\n\
+         \x20       jr z, nr_done\n\
+         \x20       push bc\n\
+         \x20       ld hl, NICRXW\n\
+         nr_loop:\n\
+         \x20       ioe ld a, (hl)\n\
+         \x20       ld (de), a\n\
+         \x20       inc hl\n\
+         \x20       inc de\n\
+         \x20       dec bc\n\
+         \x20       ld a, b\n\
+         \x20       or c\n\
+         \x20       jr nz, nr_loop\n\
+         \x20       pop bc\n\
+         nr_done:\n\
+         \x20       ld a, {CMD_RX_NEXT}\n\
+         \x20       ioe ld (NICCMD), a\n\
+         \x20       ret\n\
+         \n\
+         nic_send:\n\
+         \x20       ld a, c\n\
+         \x20       ioe ld (NICTXL), a\n\
+         \x20       ld a, b\n\
+         \x20       ioe ld (NICTXH), a\n\
+         \x20       ld a, b\n\
+         \x20       or c\n\
+         \x20       jr z, ns_go\n\
+         \x20       ld de, NICTXW\n\
+         ns_loop:\n\
+         \x20       ld a, (hl)\n\
+         \x20       ioe ld (de), a\n\
+         \x20       inc hl\n\
+         \x20       inc de\n\
+         \x20       dec bc\n\
+         \x20       ld a, b\n\
+         \x20       or c\n\
+         \x20       jr nz, ns_loop\n\
+         ns_go:\n\
+         \x20       ld a, {CMD_TX_GO}\n\
+         \x20       ioe ld (NICCMD), a\n\
+         \x20       ret\n"
+    )
+}
+
+/// The complete echo-server firmware: configures the NIC for the given
+/// TCP `port` with receive interrupts, then sleeps in `halt`; the ISR
+/// drains every pending frame and echoes each one back (`nic_recv` →
+/// `nic_send` through the scratch buffer at [`ECHO_BUF`]).
+///
+/// The ISR runs at priority 1 and processes *all* available frames before
+/// `reti`, so interrupt delivery only ever happens against a halted CPU
+/// or at the `reti` boundary — the two points both execution engines
+/// sample identically. This is what makes the end-to-end transcripts and
+/// cycle counts byte-identical across engines.
+pub fn echo_firmware(port: u16) -> String {
+    let equates = nic_equates();
+    let shims = nic_shims();
+    format!(
+        "{equates}\
+         \n\
+         \x20       org {NIC_VECTOR:#06x}\n\
+         \x20       jp nic_isr\n\
+         \n\
+         \x20       org 0x4000\n\
+         start:\n\
+         \x20       ld a, {lport_lo}\n\
+         \x20       ioe ld (NICPRTL), a\n\
+         \x20       ld a, {lport_hi}\n\
+         \x20       ioe ld (NICPRTH), a\n\
+         \x20       ld a, 1\n\
+         \x20       ioe ld (NICIER), a\n\
+         \x20       ld a, {CMD_LISTEN}\n\
+         \x20       ioe ld (NICCMD), a\n\
+         spin:\n\
+         \x20       halt\n\
+         \x20       jr spin\n\
+         \n\
+         nic_isr:\n\
+         \x20       push af\n\
+         \x20       push bc\n\
+         \x20       push de\n\
+         \x20       push hl\n\
+         isr_loop:\n\
+         \x20       ioe ld a, (NICST)\n\
+         \x20       and {STATUS_RX_AVAIL}\n\
+         \x20       jr z, isr_done\n\
+         \x20       ld de, {ECHO_BUF:#06x}\n\
+         \x20       call nic_recv\n\
+         \x20       ld hl, {ECHO_BUF:#06x}\n\
+         \x20       call nic_send\n\
+         \x20       jr isr_loop\n\
+         isr_done:\n\
+         \x20       pop hl\n\
+         \x20       pop de\n\
+         \x20       pop bc\n\
+         \x20       pop af\n\
+         \x20       reti\n\
+         \n\
+         {shims}",
+        lport_lo = port & 0xFF,
+        lport_hi = port >> 8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_firmware_assembles() {
+        let image = rabbit::assemble(&echo_firmware(7)).expect("echo firmware assembles");
+        assert!(image.sections.iter().any(|s| s.addr == NIC_VECTOR));
+        assert!(image.sections.iter().any(|s| s.addr == 0x4000));
+    }
+
+    #[test]
+    fn shims_assemble_standalone() {
+        let src = format!("{}        org 0x4000\n{}", nic_equates(), nic_shims());
+        rabbit::assemble(&src).expect("shims assemble");
+    }
+}

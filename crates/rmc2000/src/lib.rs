@@ -1,12 +1,18 @@
 //! A model of the **RMC2000 TCP/IP Development Kit**: the Rabbit 2000 CPU
-//! with 512 KiB flash and 128 KiB SRAM, serial port A wired for
-//! receive interrupts (the paper's §5.1 debugging channel), a free-running
-//! real-time clock, and `defineErrorHandler`-style fault dispatch.
+//! with 512 KiB flash and 128 KiB SRAM behind a device bus that carries
+//! serial port A (receive interrupts — the paper's §5.1 debugging
+//! channel), a free-running real-time clock, and a port-mapped NIC
+//! bridged to a `netsim` host, plus `defineErrorHandler`-style fault
+//! dispatch.
 //!
-//! The kit's TCP/IP stack is modelled at the API level by
-//! `sockets::dynic` (see DESIGN.md): firmware-visible networking runs
-//! there, while this crate provides the *instruction-level* substrate the
-//! paper's performance experiments need.
+//! Two network paths exist in the repo, at different levels of the stack:
+//! `sockets::dynic` models the kit's TCP/IP *API* for host-compiled
+//! firmware logic, while this crate runs *guest instructions* against the
+//! simulated network — the [`nic::Nic`] device converts executed cycles
+//! to virtual microseconds, so the board and the `netsim` world share one
+//! deterministic clock. Assembled firmware (see [`firmware`]) serves real
+//! TCP traffic to `netsim` clients through `ioe`-mapped packet windows;
+//! [`echo::run_echo`] is the reference end-to-end session.
 //!
 //! ```
 //! use rmc2000::{Board, RunOutcome};
@@ -24,22 +30,16 @@
 //! ```
 
 pub mod board;
+pub mod echo;
+pub mod firmware;
+pub mod nic;
 pub mod serial;
 
-pub use board::{Board, BoardIo, RunOutcome};
+pub use board::{Board, Rtc, RunOutcome};
+pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
 pub use serial::{SerialPort, SERIAL_A_VECTOR};
 
-/// Maps a logical firmware address to the physical address the loader
-/// writes (shared convention with `dcc::harness`): root code below
-/// `0x8000` sits in flash at its own address, data at `0x8000..0xE000`
-/// lands in SRAM through the data-segment mapping, and xmem-window
-/// sections land on the page `XPC = 0x76` selects.
-pub fn load_phys(addr: u16) -> u32 {
-    if addr >= 0xE000 {
-        u32::from(addr) + 0x76 * 0x1000
-    } else if addr >= 0x8000 {
-        u32::from(addr) + 0x78000
-    } else {
-        u32::from(addr)
-    }
-}
+// The loader's address convention is the repo-wide one (shared with the
+// `dcc` harness); re-exported so existing `rmc2000::load_phys` callers
+// keep working.
+pub use rabbit::fwmap::load_phys;

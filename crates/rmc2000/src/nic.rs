@@ -1,0 +1,618 @@
+//! The network interface controller: the board's port-mapped NIC, bridged
+//! to a `netsim` host.
+//!
+//! The real RMC2000 carries a 10Base-T NIC on the Rabbit's external I/O
+//! bus, with Dynamic C's TCP/IP library terminating TCP on the CPU. This
+//! model keeps the paper's programming surface (command/status registers
+//! plus packet windows reached with `ioe`) but terminates TCP in the
+//! simulated network stack, like a TCP-offload NIC: the frames the guest
+//! exchanges through the rings are TCP payload chunks. Guest cycles drive
+//! the backend clock — [`Nic::tick`] converts CPU cycles to microseconds
+//! at [`CYCLES_PER_US`] (the repo-wide 30 MHz board clock) and advances
+//! the shared `netsim` world in lockstep, so instruction execution and
+//! packet delivery share one deterministic timeline.
+//!
+//! # Register map (external I/O space)
+//!
+//! | port | dir | register |
+//! |------|-----|----------|
+//! | `0x0300` | w | `CMD`: 1 = LISTEN, 2 = `TX_GO`, 3 = `RX_NEXT` |
+//! | `0x0301` | r | `STATUS`: bit0 link, bit1 rx avail, bit2 tx ready, bit3 peer closed, bit4 established |
+//! | `0x0302` | w | `IER`: bit0 enables the receive interrupt |
+//! | `0x0303/4` | r | `RXLEN` lo/hi: length of the current rx frame |
+//! | `0x0305/6` | w | `TXLEN` lo/hi: length for the next `TX_GO` |
+//! | `0x0307/8` | w | `LPORT` lo/hi: TCP port for LISTEN (default 7) |
+//! | `0x1000..` | r | rx window: bytes of the current rx frame |
+//! | `0x1800..` | w | tx window: staging buffer for `TX_GO` |
+//!
+//! Receive is level-ish like serial port A: a pending interrupt (priority
+//! 1, vector [`NIC_VECTOR`]) is raised while frames wait in the ring and
+//! the `IER` bit is set; `RX_NEXT` consumes the current frame and
+//! re-raises if more are queued.
+//!
+//! # Determinism across engines
+//!
+//! The bus delivers exact cycle totals at every `ioi`/`ioe` access (which
+//! are barriers in the block-caching engine), but the two engines tick in
+//! different chunkings. The NIC therefore advances the world and polls
+//! for received data only at fixed virtual-time boundaries (every
+//! [`POLL_PERIOD_US`]); boundary crossings depend only on the cycle
+//! *total*, so frame chunking — and hence every guest-visible register —
+//! is byte-identical under `Engine::Interpreter` and
+//! `Engine::BlockCache`.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use netsim::{SimHost, SocketId};
+use rabbit::{Device, Interrupt, PortRange};
+use telemetry::Counter;
+
+/// Logical address of the NIC's interrupt service routine vector.
+pub const NIC_VECTOR: u16 = 0x00F0;
+/// CPU cycles per microsecond of virtual time (the 30 MHz board clock).
+pub const CYCLES_PER_US: u64 = 30;
+/// Virtual-time period between backend polls.
+pub const POLL_PERIOD_US: u64 = 50;
+/// Largest frame the rings carry.
+pub const FRAME_MAX: usize = 1024;
+/// Receive-ring depth, in frames; the backend holds further data back
+/// (TCP flow control) while the ring is full.
+pub const RX_RING: usize = 8;
+
+/// Base of the NIC register bank in external I/O space.
+pub const NIC_BASE: u16 = 0x0300;
+/// Command register (write).
+pub const NIC_CMD: u16 = NIC_BASE;
+/// Status register (read).
+pub const NIC_STATUS: u16 = NIC_BASE + 1;
+/// Interrupt-enable register (write).
+pub const NIC_IER: u16 = NIC_BASE + 2;
+/// Current rx frame length, low byte (read).
+pub const NIC_RXLEN_LO: u16 = NIC_BASE + 3;
+/// Current rx frame length, high byte (read).
+pub const NIC_RXLEN_HI: u16 = NIC_BASE + 4;
+/// Tx length, low byte (write).
+pub const NIC_TXLEN_LO: u16 = NIC_BASE + 5;
+/// Tx length, high byte (write).
+pub const NIC_TXLEN_HI: u16 = NIC_BASE + 6;
+/// Listen port, low byte (write).
+pub const NIC_LPORT_LO: u16 = NIC_BASE + 7;
+/// Listen port, high byte (write).
+pub const NIC_LPORT_HI: u16 = NIC_BASE + 8;
+/// Start of the receive window in external I/O space.
+pub const NIC_RX_WINDOW: u16 = 0x1000;
+/// Start of the transmit window in external I/O space.
+pub const NIC_TX_WINDOW: u16 = 0x1800;
+
+/// `CMD` value: open the listening socket on the configured port.
+pub const CMD_LISTEN: u8 = 1;
+/// `CMD` value: transmit `TXLEN` bytes from the tx window.
+pub const CMD_TX_GO: u8 = 2;
+/// `CMD` value: consume the current rx frame.
+pub const CMD_RX_NEXT: u8 = 3;
+
+/// `STATUS` bit: link up (backend attached).
+pub const STATUS_LINK: u8 = 0x01;
+/// `STATUS` bit: a received frame is waiting.
+pub const STATUS_RX_AVAIL: u8 = 0x02;
+/// `STATUS` bit: the tx path can take a frame (always set).
+pub const STATUS_TX_READY: u8 = 0x04;
+/// `STATUS` bit: the peer closed its direction.
+pub const STATUS_PEER_CLOSED: u8 = 0x08;
+/// `STATUS` bit: a TCP connection is established.
+pub const STATUS_ESTABLISHED: u8 = 0x10;
+
+/// What the NIC plugs into: a clocked transport that produces and
+/// consumes payload frames.
+///
+/// `advance` must be additive (`advance(a); advance(b)` ≡
+/// `advance(a + b)` when no `poll` intervenes) — the NIC calls it in
+/// whatever increments the CPU's tick chunking produces.
+pub trait NicBackend {
+    /// Advances backend time by `us` microseconds.
+    fn advance(&mut self, us: u64);
+
+    /// Opens the listening socket on `port`.
+    fn listen(&mut self, port: u16);
+
+    /// Takes the next available payload frame, if any (at most
+    /// [`FRAME_MAX`] bytes).
+    fn poll(&mut self) -> Option<Vec<u8>>;
+
+    /// Queues `frame` for transmission.
+    fn send(&mut self, frame: &[u8]);
+
+    /// Whether a TCP connection is established.
+    fn established(&self) -> bool;
+
+    /// Whether the peer has closed its direction.
+    fn peer_closed(&self) -> bool;
+}
+
+/// The `net.board.*` telemetry counters the NIC maintains.
+#[derive(Debug, Clone)]
+pub struct NicCounters {
+    /// Frames delivered to the guest.
+    pub rx_frames: Counter,
+    /// Bytes delivered to the guest.
+    pub rx_bytes: Counter,
+    /// Frames transmitted by the guest.
+    pub tx_frames: Counter,
+    /// Bytes transmitted by the guest.
+    pub tx_bytes: Counter,
+    /// Receive interrupts raised.
+    pub irqs: Counter,
+}
+
+impl NicCounters {
+    /// Registers the counters in `registry` (idempotent: fetches the
+    /// existing cells on a second call).
+    pub fn register(registry: &telemetry::Registry) -> NicCounters {
+        NicCounters {
+            rx_frames: registry.counter("net.board.rx_frames", &[]),
+            rx_bytes: registry.counter("net.board.rx_bytes", &[]),
+            tx_frames: registry.counter("net.board.tx_frames", &[]),
+            tx_bytes: registry.counter("net.board.tx_bytes", &[]),
+            irqs: registry.counter("net.board.irqs", &[]),
+        }
+    }
+
+    /// Free-standing counters, not attached to any registry.
+    pub fn detached() -> NicCounters {
+        NicCounters {
+            rx_frames: Counter::new(),
+            rx_bytes: Counter::new(),
+            tx_frames: Counter::new(),
+            tx_bytes: Counter::new(),
+            irqs: Counter::new(),
+        }
+    }
+}
+
+/// The NIC device.
+pub struct Nic {
+    backend: Box<dyn NicBackend>,
+    counters: NicCounters,
+    rx: VecDeque<Vec<u8>>,
+    tx_buf: Box<[u8; FRAME_MAX]>,
+    tx_len: u16,
+    listen_port: u16,
+    irq_enabled: bool,
+    irq_pending: bool,
+    /// Cycles not yet converted to microseconds.
+    cycle_acc: u64,
+    /// Microseconds of backend time advanced so far.
+    time_us: u64,
+    /// Next virtual time at which the backend is polled.
+    next_poll_us: u64,
+}
+
+impl Nic {
+    /// A NIC wired to `backend`, with detached counters.
+    pub fn new(backend: Box<dyn NicBackend>) -> Nic {
+        Nic::with_counters(backend, NicCounters::detached())
+    }
+
+    /// A NIC wired to `backend`, reporting through `counters`.
+    pub fn with_counters(backend: Box<dyn NicBackend>, counters: NicCounters) -> Nic {
+        Nic {
+            backend,
+            counters,
+            rx: VecDeque::new(),
+            tx_buf: Box::new([0; FRAME_MAX]),
+            tx_len: 0,
+            listen_port: 7,
+            irq_enabled: false,
+            irq_pending: false,
+            cycle_acc: 0,
+            time_us: 0,
+            next_poll_us: POLL_PERIOD_US,
+        }
+    }
+
+    /// A NIC attached to a `netsim` host, with counters registered in the
+    /// world's telemetry registry.
+    pub fn simulated(host: SimHost) -> Nic {
+        let counters = NicCounters {
+            rx_frames: host.counter("net.board.rx_frames"),
+            rx_bytes: host.counter("net.board.rx_bytes"),
+            tx_frames: host.counter("net.board.tx_frames"),
+            tx_bytes: host.counter("net.board.tx_bytes"),
+            irqs: host.counter("net.board.irqs"),
+        };
+        Nic::with_counters(Box::new(SimBackend::new(host)), counters)
+    }
+
+    /// The counters this NIC reports through.
+    pub fn counters(&self) -> &NicCounters {
+        &self.counters
+    }
+
+    /// Frames waiting in the receive ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Recomputes the level-ish interrupt line after a state change.
+    fn update_irq(&mut self) {
+        let level = self.irq_enabled && !self.rx.is_empty();
+        if level && !self.irq_pending {
+            self.counters.irqs.inc();
+        }
+        self.irq_pending = level;
+    }
+
+    /// Pulls received frames from the backend into the ring (called only
+    /// at poll boundaries).
+    fn poll_backend(&mut self) {
+        while self.rx.len() < RX_RING {
+            match self.backend.poll() {
+                Some(frame) => {
+                    self.counters.rx_frames.inc();
+                    self.counters.rx_bytes.add(frame.len() as u64);
+                    self.rx.push_back(frame);
+                }
+                None => break,
+            }
+        }
+        self.update_irq();
+    }
+}
+
+impl Device for Nic {
+    fn name(&self) -> &'static str {
+        "nic"
+    }
+
+    fn claims(&self) -> Vec<PortRange> {
+        vec![
+            PortRange::external(NIC_CMD, NIC_LPORT_HI),
+            PortRange::external(NIC_RX_WINDOW, NIC_RX_WINDOW + FRAME_MAX as u16 - 1),
+            PortRange::external(NIC_TX_WINDOW, NIC_TX_WINDOW + FRAME_MAX as u16 - 1),
+        ]
+    }
+
+    fn read(&mut self, port: u16, _external: bool) -> u8 {
+        match port {
+            NIC_STATUS => {
+                let mut st = STATUS_LINK | STATUS_TX_READY;
+                if !self.rx.is_empty() {
+                    st |= STATUS_RX_AVAIL;
+                }
+                if self.backend.established() {
+                    st |= STATUS_ESTABLISHED;
+                }
+                if self.backend.peer_closed() {
+                    st |= STATUS_PEER_CLOSED;
+                }
+                st
+            }
+            NIC_RXLEN_LO => self.rx.front().map_or(0, |f| f.len() as u8),
+            NIC_RXLEN_HI => self.rx.front().map_or(0, |f| (f.len() >> 8) as u8),
+            p if (NIC_RX_WINDOW..NIC_RX_WINDOW + FRAME_MAX as u16).contains(&p) => self
+                .rx
+                .front()
+                .and_then(|f| f.get(usize::from(p - NIC_RX_WINDOW)))
+                .copied()
+                .unwrap_or(0xFF),
+            _ => 0xFF,
+        }
+    }
+
+    fn write(&mut self, port: u16, value: u8, _external: bool) {
+        match port {
+            NIC_CMD => match value {
+                CMD_LISTEN => self.backend.listen(self.listen_port),
+                CMD_TX_GO => {
+                    let len = usize::from(self.tx_len).min(FRAME_MAX);
+                    self.counters.tx_frames.inc();
+                    self.counters.tx_bytes.add(len as u64);
+                    let frame = &self.tx_buf[..len];
+                    self.backend.send(frame);
+                }
+                CMD_RX_NEXT => {
+                    self.rx.pop_front();
+                    self.update_irq();
+                }
+                _ => {}
+            },
+            NIC_IER => {
+                self.irq_enabled = value & 1 != 0;
+                self.update_irq();
+            }
+            NIC_TXLEN_LO => self.tx_len = (self.tx_len & 0xFF00) | u16::from(value),
+            NIC_TXLEN_HI => self.tx_len = (self.tx_len & 0x00FF) | (u16::from(value) << 8),
+            NIC_LPORT_LO => self.listen_port = (self.listen_port & 0xFF00) | u16::from(value),
+            NIC_LPORT_HI => {
+                self.listen_port = (self.listen_port & 0x00FF) | (u16::from(value) << 8);
+            }
+            p if (NIC_TX_WINDOW..NIC_TX_WINDOW + FRAME_MAX as u16).contains(&p) => {
+                self.tx_buf[usize::from(p - NIC_TX_WINDOW)] = value;
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, cycles: u64) {
+        self.cycle_acc += cycles;
+        let us = self.cycle_acc / CYCLES_PER_US;
+        if us == 0 {
+            return;
+        }
+        self.cycle_acc %= CYCLES_PER_US;
+        let target = self.time_us + us;
+        // Advance to (and poll at) each fixed boundary the new time
+        // crosses, then run the remainder without polling. Boundary
+        // crossings depend only on the accumulated cycle total, never on
+        // tick chunking, so both execution engines observe identical
+        // frames at identical virtual times.
+        while self.next_poll_us <= target {
+            let step = self.next_poll_us - self.time_us;
+            if step > 0 {
+                self.backend.advance(step);
+            }
+            self.time_us = self.next_poll_us;
+            self.poll_backend();
+            self.next_poll_us += POLL_PERIOD_US;
+        }
+        if target > self.time_us {
+            self.backend.advance(target - self.time_us);
+            self.time_us = target;
+        }
+    }
+
+    fn tick_quantum(&self) -> u64 {
+        // Batch to one poll period; the bus flushes the exact total
+        // before every port access anyway.
+        POLL_PERIOD_US * CYCLES_PER_US
+    }
+
+    fn pending(&self) -> Option<Interrupt> {
+        self.irq_pending.then_some(Interrupt {
+            priority: 1,
+            vector: NIC_VECTOR,
+        })
+    }
+
+    fn acknowledge(&mut self, _vector: u16) {
+        self.irq_pending = false;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl std::fmt::Debug for Nic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Nic")
+            .field("rx_frames_queued", &self.rx.len())
+            .field("irq_pending", &self.irq_pending)
+            .field("time_us", &self.time_us)
+            .finish()
+    }
+}
+
+/// The production backend: a TCP echo-capable attachment to a `netsim`
+/// host (see [`SimHost`]). One listener, one connection at a time; bytes
+/// the send buffer rejects are retried on the next advance.
+pub struct SimBackend {
+    host: SimHost,
+    listener: Option<SocketId>,
+    conn: Option<SocketId>,
+    pending_tx: Vec<u8>,
+}
+
+impl SimBackend {
+    /// Wraps a host handle.
+    pub fn new(host: SimHost) -> SimBackend {
+        SimBackend {
+            host,
+            listener: None,
+            conn: None,
+            pending_tx: Vec::new(),
+        }
+    }
+
+    fn flush_tx(&mut self) {
+        if let Some(conn) = self.conn {
+            if !self.pending_tx.is_empty() {
+                let sent = self.host.send(conn, &self.pending_tx);
+                self.pending_tx.drain(..sent);
+            }
+        }
+    }
+}
+
+impl NicBackend for SimBackend {
+    fn advance(&mut self, us: u64) {
+        self.host.advance(us);
+    }
+
+    fn listen(&mut self, port: u16) {
+        if self.listener.is_none() {
+            self.listener = self.host.listen(port, 1).ok();
+        }
+    }
+
+    fn poll(&mut self) -> Option<Vec<u8>> {
+        if self.conn.is_none() {
+            if let Some(l) = self.listener {
+                self.conn = self.host.accept(l);
+            }
+        }
+        self.flush_tx();
+        let conn = self.conn?;
+        let avail = self.host.available(conn).min(FRAME_MAX);
+        if avail == 0 {
+            return None;
+        }
+        let mut frame = vec![0u8; avail];
+        match self.host.recv(conn, &mut frame) {
+            netsim::Recv::Data(n) => {
+                frame.truncate(n);
+                Some(frame)
+            }
+            _ => None,
+        }
+    }
+
+    fn send(&mut self, frame: &[u8]) {
+        self.pending_tx.extend_from_slice(frame);
+        self.flush_tx();
+    }
+
+    fn established(&self) -> bool {
+        self.conn.is_some_and(|c| self.host.established(c))
+    }
+
+    fn peer_closed(&self) -> bool {
+        self.conn.is_some_and(|c| self.host.peer_closed(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted backend for unit tests: frames to deliver, capture of
+    /// frames sent.
+    #[derive(Default)]
+    struct Script {
+        rx: VecDeque<(u64, Vec<u8>)>, // (deliver at µs, frame)
+        tx: Vec<Vec<u8>>,
+        now: u64,
+        listening: Option<u16>,
+    }
+
+    impl NicBackend for std::rc::Rc<std::cell::RefCell<Script>> {
+        fn advance(&mut self, us: u64) {
+            self.borrow_mut().now += us;
+        }
+        fn listen(&mut self, port: u16) {
+            self.borrow_mut().listening = Some(port);
+        }
+        fn poll(&mut self) -> Option<Vec<u8>> {
+            let mut s = self.borrow_mut();
+            let now = s.now;
+            if s.rx.front().is_some_and(|(t, _)| *t <= now) {
+                s.rx.pop_front().map(|(_, f)| f)
+            } else {
+                None
+            }
+        }
+        fn send(&mut self, frame: &[u8]) {
+            self.borrow_mut().tx.push(frame.to_vec());
+        }
+        fn established(&self) -> bool {
+            true
+        }
+        fn peer_closed(&self) -> bool {
+            false
+        }
+    }
+
+    fn scripted() -> (Nic, std::rc::Rc<std::cell::RefCell<Script>>) {
+        let script = std::rc::Rc::new(std::cell::RefCell::new(Script::default()));
+        (Nic::new(Box::new(script.clone())), script)
+    }
+
+    #[test]
+    fn frames_arrive_only_at_poll_boundaries() {
+        let (mut nic, script) = scripted();
+        script.borrow_mut().rx.push_back((10, b"abc".to_vec()));
+        nic.write(NIC_IER, 1, true);
+        // 10 µs in: frame is ready in the backend but the boundary
+        // (50 µs) has not been crossed.
+        nic.tick(10 * CYCLES_PER_US);
+        assert_eq!(nic.rx_pending(), 0);
+        assert!(rabbit::Device::pending(&nic).is_none());
+        // Crossing the boundary delivers it and raises the interrupt.
+        nic.tick(40 * CYCLES_PER_US);
+        assert_eq!(nic.rx_pending(), 1);
+        assert_eq!(
+            rabbit::Device::pending(&nic),
+            Some(Interrupt {
+                priority: 1,
+                vector: NIC_VECTOR
+            })
+        );
+        assert_eq!(nic.counters().rx_frames.get(), 1);
+        assert_eq!(nic.counters().irqs.get(), 1);
+    }
+
+    #[test]
+    fn chunked_ticks_cross_boundaries_identically() {
+        let (mut a, sa) = scripted();
+        let (mut b, sb) = scripted();
+        for s in [&sa, &sb] {
+            s.borrow_mut().rx.push_back((49, b"x".to_vec()));
+            s.borrow_mut().rx.push_back((51, b"y".to_vec()));
+        }
+        a.write(NIC_IER, 1, true);
+        b.write(NIC_IER, 1, true);
+        // One big tick vs many tiny ticks: identical delivery.
+        a.tick(120 * CYCLES_PER_US);
+        for _ in 0..120 * CYCLES_PER_US {
+            b.tick(1);
+        }
+        assert_eq!(a.rx_pending(), b.rx_pending());
+        assert_eq!(a.rx_pending(), 2);
+        assert_eq!(sa.borrow().now, sb.borrow().now);
+    }
+
+    #[test]
+    fn rx_frame_reads_and_rx_next() {
+        let (mut nic, script) = scripted();
+        script.borrow_mut().rx.push_back((0, b"hi".to_vec()));
+        script.borrow_mut().rx.push_back((0, b"z".to_vec()));
+        nic.tick(POLL_PERIOD_US * CYCLES_PER_US);
+        assert_eq!(nic.read(NIC_RXLEN_LO, true), 2);
+        assert_eq!(nic.read(NIC_RXLEN_HI, true), 0);
+        assert_eq!(nic.read(NIC_RX_WINDOW, true), b'h');
+        assert_eq!(nic.read(NIC_RX_WINDOW + 1, true), b'i');
+        nic.write(NIC_CMD, CMD_RX_NEXT, true);
+        assert_eq!(nic.read(NIC_RXLEN_LO, true), 1);
+        assert_eq!(nic.read(NIC_RX_WINDOW, true), b'z');
+        nic.write(NIC_CMD, CMD_RX_NEXT, true);
+        assert_eq!(nic.read(NIC_STATUS, true) & STATUS_RX_AVAIL, 0);
+    }
+
+    #[test]
+    fn tx_stages_and_sends() {
+        let (mut nic, script) = scripted();
+        for (i, b) in b"ping".iter().enumerate() {
+            nic.write(NIC_TX_WINDOW + i as u16, *b, true);
+        }
+        nic.write(NIC_TXLEN_LO, 4, true);
+        nic.write(NIC_TXLEN_HI, 0, true);
+        nic.write(NIC_CMD, CMD_TX_GO, true);
+        assert_eq!(script.borrow().tx, vec![b"ping".to_vec()]);
+        assert_eq!(nic.counters().tx_bytes.get(), 4);
+    }
+
+    #[test]
+    fn listen_uses_configured_port() {
+        let (mut nic, script) = scripted();
+        nic.write(NIC_LPORT_LO, 0x39, true);
+        nic.write(NIC_LPORT_HI, 0x05, true); // 1337
+        nic.write(NIC_CMD, CMD_LISTEN, true);
+        assert_eq!(script.borrow().listening, Some(1337));
+    }
+
+    #[test]
+    fn ring_full_applies_backpressure() {
+        let (mut nic, script) = scripted();
+        for _ in 0..RX_RING + 3 {
+            script.borrow_mut().rx.push_back((0, vec![0u8; 4]));
+        }
+        nic.tick(POLL_PERIOD_US * CYCLES_PER_US);
+        assert_eq!(nic.rx_pending(), RX_RING);
+        assert_eq!(script.borrow().rx.len(), 3, "rest held in the backend");
+    }
+}

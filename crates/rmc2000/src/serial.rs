@@ -3,10 +3,11 @@
 //! configured the serial interface to interrupt the processor when a
 //! character arrived."
 
+use std::any::Any;
 use std::collections::VecDeque;
 
 use rabbit::io::ports;
-use rabbit::Interrupt;
+use rabbit::{Device, Interrupt, PortRange};
 
 /// Logical address of serial port A's interrupt service routine vector.
 pub const SERIAL_A_VECTOR: u16 = 0x00E0;
@@ -109,6 +110,41 @@ impl SerialPort {
     /// Acknowledge (the ISR will drain the data register).
     pub fn acknowledge(&mut self) {
         self.irq_pending = false;
+    }
+}
+
+impl Device for SerialPort {
+    fn name(&self) -> &'static str {
+        "serial-a"
+    }
+
+    fn claims(&self) -> Vec<PortRange> {
+        // SADR..SACR covers the data, status, and control registers.
+        vec![PortRange::internal(ports::SADR, ports::SACR)]
+    }
+
+    fn read(&mut self, port: u16, _external: bool) -> u8 {
+        self.read(port).unwrap_or(0xFF)
+    }
+
+    fn write(&mut self, port: u16, value: u8, _external: bool) {
+        self.write(port, value);
+    }
+
+    fn pending(&self) -> Option<Interrupt> {
+        SerialPort::pending(self)
+    }
+
+    fn acknowledge(&mut self, _vector: u16) {
+        SerialPort::acknowledge(self);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 

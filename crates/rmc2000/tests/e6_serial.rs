@@ -78,12 +78,12 @@ fn status_request_interrupts_and_replies() {
     assert!(hb_before > 0, "main loop is alive");
 
     // Host sends 's' over the serial line.
-    board.io.serial.inject(b's');
+    board.serial_mut().inject(b's');
     assert!(
-        board.run_until(100_000, |b| b.io.serial.transmitted().len() >= 3),
+        board.run_until(100_000, |b| b.serial().transmitted().len() >= 3),
         "ISR replied"
     );
-    let tx = board.io.serial.transmitted().to_vec();
+    let tx = board.serial().transmitted().to_vec();
     assert_eq!(&tx[..2], b"OK");
     // Third byte is the heartbeat snapshot — close to the live counter.
     assert_eq!(tx[2], ((heartbeat(&board) & 0xFF) as u8));
@@ -100,7 +100,7 @@ fn reset_request_restarts_application_keeping_state() {
     board.run(20_000);
     let hb_before = heartbeat(&board);
 
-    board.io.serial.inject(b'r');
+    board.serial_mut().inject(b'r');
     let reset_count_addr = rmc2000::load_phys(0x8004);
     assert!(
         board.run_until(200_000, |b| b.mem.read_phys(reset_count_addr) == 1),
@@ -114,7 +114,7 @@ fn reset_request_restarts_application_keeping_state() {
         "state maintained across reset"
     );
     assert_eq!(
-        board.io.serial.transmitted(),
+        board.serial().transmitted(),
         b"",
         "no status reply for reset"
     );
@@ -124,12 +124,73 @@ fn reset_request_restarts_application_keeping_state() {
 fn other_characters_are_ignored() {
     let mut board = boot();
     board.run(10_000);
-    board.io.serial.inject(b'x');
+    board.serial_mut().inject(b'x');
     board.run(50_000);
-    assert!(board.io.serial.transmitted().is_empty());
+    assert!(board.serial().transmitted().is_empty());
     let hb = heartbeat(&board);
     board.run(10_000);
     assert!(heartbeat(&board) > hb, "main loop unaffected");
+}
+
+/// The serial ISR must never nest: it runs at priority 1, the same level
+/// serial A requests at, so a character arriving *during* the ISR raises
+/// a request that cannot preempt it — the second dispatch waits until
+/// `reti` drops the priority back down.
+#[test]
+fn isr_does_not_reenter_but_request_redelivers() {
+    let image = assemble(
+        "        org 0x00E0\n\
+         isr:    push af\n\
+                 push hl\n\
+                 ld a, (0x8010)\n\
+                 inc a\n\
+                 ld (0x8010), a         ; live ISR depth\n\
+                 ld hl, 0x8011\n\
+                 cp (hl)\n\
+                 jr c, depth_ok\n\
+                 ld (hl), a             ; record max depth\n\
+         depth_ok:\n\
+                 ld b, 20\n\
+         stall:  djnz stall             ; dwell with the request pending\n\
+                 ioi ld a, (0xC0)       ; drain one character\n\
+                 ld a, (0x8012)\n\
+                 inc a\n\
+                 ld (0x8012), a         ; ISR invocation count\n\
+                 ld a, (0x8010)\n\
+                 dec a\n\
+                 ld (0x8010), a\n\
+                 pop hl\n\
+                 pop af\n\
+                 reti\n\
+                 \n\
+                 org 0x4000\n\
+         start:  ld a, 1\n\
+                 ioi ld (0xC4), a       ; SACR: enable rx interrupt\n\
+         spin:   jr spin\n",
+    )
+    .expect("assembles");
+    let mut board = Board::new();
+    board.load(&image);
+    board.set_pc(0x4000);
+    board.run(5_000);
+
+    // First character arrives; step until the CPU is inside the ISR's
+    // stall loop...
+    board.serial_mut().inject(b'a');
+    assert!(
+        board.run_until(200_000, |b| (0x00E0..0x0110).contains(&b.cpu.regs.pc)),
+        "entered the ISR"
+    );
+    // ...then a second character arrives mid-ISR. Its request is raised
+    // immediately but must not preempt the running priority-1 handler.
+    board.serial_mut().inject(b'b');
+    let isr_count = rmc2000::load_phys(0x8012);
+    assert!(
+        board.run_until(200_000, |b| b.mem.read_phys(isr_count) == 2),
+        "ISR serviced both characters"
+    );
+    let max_depth = board.mem.read_phys(rmc2000::load_phys(0x8011));
+    assert_eq!(max_depth, 1, "ISR never re-entered (priority masking)");
 }
 
 #[test]

@@ -55,12 +55,12 @@ fn board_encrypts_serial_input_to_serial_output() {
     let key: [u8; 16] = core::array::from_fn(|i| i as u8);
     let plain: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
     for b in key.iter().chain(&plain) {
-        board.io.serial.inject(*b);
+        board.serial_mut().inject(*b);
     }
 
     assert_eq!(board.run(50_000_000), RunOutcome::Halted);
     assert_eq!(
-        board.io.serial.transmitted(),
+        board.serial().transmitted(),
         &[
             0x69, 0xC4, 0xE0, 0xD8, 0x6A, 0x7B, 0x04, 0x30, 0xD8, 0xCD, 0xB7, 0x80, 0x70, 0xB4,
             0xC5, 0x5A
@@ -74,18 +74,18 @@ fn firmware_blocks_until_enough_input_arrives() {
     let mut board = boot_firmware();
     // Only half the input: the firmware must keep polling, not halt.
     for b in 0..16u8 {
-        board.io.serial.inject(b);
+        board.serial_mut().inject(b);
     }
     assert_eq!(board.run(2_000_000), RunOutcome::BudgetExhausted);
-    assert!(board.io.serial.transmitted().is_empty());
+    assert!(board.serial().transmitted().is_empty());
 
     // Deliver the rest; it finishes.
     let plain: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
     for b in plain {
-        board.io.serial.inject(b);
+        board.serial_mut().inject(b);
     }
     assert_eq!(board.run(50_000_000), RunOutcome::Halted);
-    assert_eq!(board.io.serial.transmitted().len(), 16);
+    assert_eq!(board.serial().transmitted().len(), 16);
 }
 
 #[test]
@@ -98,13 +98,13 @@ fn firmware_agrees_with_host_cipher_on_random_inputs() {
         prng.fill(&mut key);
         prng.fill(&mut plain);
         for b in key.iter().chain(&plain) {
-            board.io.serial.inject(*b);
+            board.serial_mut().inject(*b);
         }
         assert_eq!(board.run(50_000_000), RunOutcome::Halted, "trial {trial}");
 
         let reference = crypto::Rijndael::aes(&key).expect("key");
         let mut expect = plain;
         reference.encrypt_block(&mut expect);
-        assert_eq!(board.io.serial.transmitted(), expect, "trial {trial}");
+        assert_eq!(board.serial().transmitted(), expect, "trial {trial}");
     }
 }
