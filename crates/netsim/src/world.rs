@@ -444,6 +444,16 @@ impl World {
         self.events.push(Reverse(Scheduled { time, seq, event }));
     }
 
+    /// Virtual time of the earliest scheduled event, if any — the soonest
+    /// moment at which any socket or wire state can change on its own.
+    /// Callers that own the clock (the board's idle scheduler) use this
+    /// to fast-forward: advancing in one `run_for` to (or before) this
+    /// time is indistinguishable from advancing microsecond by
+    /// microsecond.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse(s)| s.time)
+    }
+
     /// Processes the next event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(sch)) = self.events.pop() else {

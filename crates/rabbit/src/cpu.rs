@@ -469,6 +469,25 @@ impl Cpu {
         Ok(cycles)
     }
 
+    /// Books `cycles` of halted time in one batch: the CPU-side half of a
+    /// time-skip. Equivalent to `cycles / 2` halted [`Cpu::step`]s *minus*
+    /// their bus work — the caller is responsible for advancing the bus by
+    /// the same amount (e.g. `Bus::advance`) and for having checked that
+    /// no dispatchable interrupt is pending. `cycles` must be even, since
+    /// a halted step always burns 2 cycles.
+    ///
+    /// Profiler attribution matches the stepwise path exactly:
+    /// [`telemetry::CycleProfiler::record`] is additive, so one record of
+    /// `cycles` at the halt PC equals `cycles / 2` records of 2.
+    pub fn skip_halted(&mut self, cycles: u64) {
+        debug_assert!(self.halted, "skip_halted on a running CPU");
+        debug_assert!(cycles.is_multiple_of(2), "halted steps burn 2 cycles each");
+        self.cycles += cycles;
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(self.regs.pc, cycles);
+        }
+    }
+
     /// Runs until `halt`, a fault, or `max_cycles`, whichever comes first.
     /// Returns the cycles consumed.
     ///

@@ -165,6 +165,26 @@ pub trait Device: Any {
         1
     }
 
+    /// Cycles of device time until this device's next *observable event*
+    /// — a change it makes on its own (raising or changing an interrupt
+    /// request, interacting with the outside world) without any CPU
+    /// access, measured from the device's current (fully delivered)
+    /// time. `None` (the default) means "no event will happen however
+    /// long time advances"; free-running state that is only visible when
+    /// the CPU reads a port (an RTC counter, say) does *not* count as an
+    /// event, because an additive `tick` makes the intermediate values
+    /// unobservable.
+    ///
+    /// The deadline is a contract with [`Bus::next_deadline`]: it must be
+    /// a *lower bound* — the device may report an event earlier than it
+    /// happens (the scheduler just wakes up, sees nothing pending, and
+    /// asks again), but never later. Returning a conservative bound is
+    /// always safe; returning `None` while an autonomous event is coming
+    /// is not.
+    fn next_deadline(&self) -> Option<u64> {
+        None
+    }
+
     /// This device's pending interrupt request, if any. Must stay pending
     /// until acknowledged or the requesting condition clears.
     fn pending(&self) -> Option<Interrupt> {
@@ -294,6 +314,31 @@ impl Bus {
         }
     }
 
+    /// Advances every device by `cycles` in one batched delivery (any
+    /// quantum-deferred cycles are folded in), leaving all devices at the
+    /// exact current time — equivalent to `tick(cycles)` followed by a
+    /// flush, but with a single `Device::tick` call per device however
+    /// large the batch. This is the time-skip path: correct devices have
+    /// additive `tick`, so one big delivery is unobservable next to many
+    /// small ones.
+    pub fn advance(&mut self, cycles: u64) {
+        for s in &mut self.slots {
+            let c = std::mem::take(&mut s.pending) + cycles;
+            if c > 0 {
+                s.dev.tick(c);
+            }
+        }
+    }
+
+    /// The event horizon: the soonest [`Device::next_deadline`] over all
+    /// attached devices, measured in cycles from now. Pending ticks are
+    /// flushed first so every device answers at the exact current time.
+    /// `None` means no device will do anything observable on its own.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        self.flush();
+        self.slots.iter().filter_map(|s| s.dev.next_deadline()).min()
+    }
+
     fn route(&mut self, port: u16, external: bool) -> Option<&mut Slot> {
         self.slots
             .iter_mut()
@@ -382,5 +427,121 @@ mod tests {
         assert!(r.contains(0x1F, false));
         assert!(!r.contains(0x10, true));
         assert!(!r.contains(0x20, false));
+    }
+
+    /// A clocked device: raises its interrupt when device time reaches
+    /// `fire_at`, and reports the remaining distance as its deadline.
+    struct Alarm {
+        now: u64,
+        fire_at: u64,
+        quantum: u64,
+    }
+
+    impl Device for Alarm {
+        fn name(&self) -> &'static str {
+            "alarm"
+        }
+        fn claims(&self) -> Vec<PortRange> {
+            vec![PortRange::internal(0x40, 0x40)]
+        }
+        fn read(&mut self, _port: u16, _external: bool) -> u8 {
+            self.now as u8
+        }
+        fn write(&mut self, _port: u16, _value: u8, _external: bool) {}
+        fn tick(&mut self, cycles: u64) {
+            self.now += cycles;
+        }
+        fn tick_quantum(&self) -> u64 {
+            self.quantum
+        }
+        fn next_deadline(&self) -> Option<u64> {
+            self.fire_at.checked_sub(self.now).filter(|d| *d > 0)
+        }
+        fn pending(&self) -> Option<Interrupt> {
+            (self.now >= self.fire_at).then_some(Interrupt {
+                priority: 1,
+                vector: 0x10,
+            })
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn advance_matches_ticks_plus_flush() {
+        let mut batched = Bus::new();
+        let mut stepped = Bus::new();
+        for bus in [&mut batched, &mut stepped] {
+            bus.attach(Box::new(Alarm {
+                now: 0,
+                fire_at: 1000,
+                quantum: 64,
+            }));
+        }
+        // Stepwise: 500 ticks of 2 cycles, each followed by an interrupt
+        // poll (which flushes). Batched: one advance of the same total.
+        for _ in 0..500 {
+            stepped.tick(2);
+            let _ = stepped.pending_interrupt();
+        }
+        batched.advance(1000);
+        assert_eq!(batched.io_read(0x40, false), stepped.io_read(0x40, false));
+        assert_eq!(batched.pending_interrupt(), stepped.pending_interrupt());
+        assert!(batched.pending_interrupt().is_some(), "alarm fired");
+    }
+
+    #[test]
+    fn advance_folds_quantum_deferred_cycles_in() {
+        let mut bus = Bus::new();
+        bus.attach(Box::new(Alarm {
+            now: 0,
+            fire_at: 100,
+            quantum: 64,
+        }));
+        bus.tick(10); // below the quantum: deferred, not delivered
+        bus.advance(90); // must fold the deferred 10 in: 10 + 90 = 100
+        assert!(bus.pending_interrupt().is_some(), "exact total delivered");
+    }
+
+    #[test]
+    fn next_deadline_takes_the_min_and_flushes_first() {
+        let mut bus = Bus::new();
+        bus.attach(Box::new(Alarm {
+            now: 0,
+            fire_at: 300,
+            quantum: 64,
+        }));
+        bus.attach(Box::new(NullDeadline));
+        assert_eq!(bus.next_deadline(), Some(300));
+        bus.tick(10); // deferred by the quantum...
+        assert_eq!(bus.next_deadline(), Some(290), "...but flushed first");
+        bus.advance(290);
+        assert_eq!(bus.next_deadline(), None, "fired alarms have no deadline");
+    }
+
+    /// A device with no autonomous events at all.
+    struct NullDeadline;
+
+    impl Device for NullDeadline {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn claims(&self) -> Vec<PortRange> {
+            vec![]
+        }
+        fn read(&mut self, _port: u16, _external: bool) -> u8 {
+            0xFF
+        }
+        fn write(&mut self, _port: u16, _value: u8, _external: bool) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
     }
 }

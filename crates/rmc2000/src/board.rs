@@ -8,6 +8,7 @@ use std::any::Any;
 use dynamicc::{Disposition, ErrorHandler, ErrorInfo, ErrorKind};
 use rabbit::io::ports;
 use rabbit::{Bus, Cpu, Device, DeviceId, Engine, Fault, Image, IoSpace, Memory, PortRange};
+use telemetry::Counter;
 
 use crate::nic::Nic;
 use crate::serial::SerialPort;
@@ -45,12 +46,45 @@ impl Device for Rtc {
         self.cycles += cycles;
     }
 
+    // No `next_deadline`: the RTC is a free-running counter with no
+    // interrupts, observable only through a port read that latches it.
+    // Its additive tick makes every intermediate count unobservable, so
+    // it never bounds the event horizon.
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// The `board.*` telemetry counters the idle scheduler maintains.
+#[derive(Debug, Clone)]
+pub struct BoardCounters {
+    /// Halted cycles consumed while idling (batched or stepwise).
+    pub idle_cycles: Counter,
+    /// Event-horizon batches the fast-forward path took.
+    pub skip_batches: Counter,
+}
+
+impl BoardCounters {
+    /// Registers the counters in `registry` (idempotent: fetches the
+    /// existing cells on a second call).
+    pub fn register(registry: &telemetry::Registry) -> BoardCounters {
+        BoardCounters {
+            idle_cycles: registry.counter("board.idle_cycles", &[]),
+            skip_batches: registry.counter("board.skip_batches", &[]),
+        }
+    }
+
+    /// Free-standing counters, not attached to any registry.
+    pub fn detached() -> BoardCounters {
+        BoardCounters {
+            idle_cycles: Counter::new(),
+            skip_batches: Counter::new(),
+        }
     }
 }
 
@@ -81,6 +115,8 @@ pub struct Board {
     pub resets: u64,
     /// Execution engine [`Board::run`] dispatches to.
     pub engine: Engine,
+    /// Idle-scheduler telemetry (`board.idle_cycles`, `board.skip_batches`).
+    pub counters: BoardCounters,
     serial_id: DeviceId,
     rtc_id: DeviceId,
     nic_id: Option<DeviceId>,
@@ -110,10 +146,19 @@ impl Board {
             errors: ErrorHandler::new(),
             resets: 0,
             engine,
+            counters: BoardCounters::detached(),
             serial_id,
             rtc_id,
             nic_id: None,
         }
+    }
+
+    /// Rebinds the board's `board.*` counters into `registry`, so one
+    /// snapshot covers the guest-side scheduler next to the `net.*`
+    /// counters. Values accumulated so far in the detached cells are not
+    /// carried over; bind before running.
+    pub fn bind_telemetry(&mut self, registry: &telemetry::Registry) {
+        self.counters = BoardCounters::register(registry);
     }
 
     /// Plugs a NIC into the bus (at most one).
@@ -210,9 +255,9 @@ impl Board {
     /// Runs until halt, fault-handler stop, or the cycle budget runs out.
     ///
     /// Execution goes through [`Board::engine`] (the block-caching engine
-    /// by default); waiting in `halt` for an interrupt falls back to
-    /// single-stepping so wake-up priority checks behave exactly as
-    /// before — and identically on either engine.
+    /// by default); waiting in `halt` for an interrupt goes through the
+    /// event-horizon scheduler ([`Board::halted_advance`]), which is
+    /// engine-independent by construction.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
         let start = self.cpu.cycles;
         loop {
@@ -222,10 +267,13 @@ impl Board {
             if self.cpu.cycles - start >= max_cycles {
                 return RunOutcome::BudgetExhausted;
             }
+            let left = max_cycles - (self.cpu.cycles - start);
             let outcome = if self.cpu.halted {
-                self.step()
+                // A pending request is either dispatched now or masked;
+                // either way this cannot fault.
+                self.halted_advance(left);
+                None
             } else {
-                let left = max_cycles - (self.cpu.cycles - start);
                 match self
                     .cpu
                     .run_on(self.engine, &mut self.mem, &mut self.bus, left)
@@ -242,29 +290,109 @@ impl Board {
         }
     }
 
-    /// Lets a halted CPU sleep for up to `max_cycles`, ticking the bus at
-    /// the halted-CPU rate (2 cycles per idle step) so peripherals — and
-    /// the NIC's netsim world — keep advancing while the guest waits for
-    /// an interrupt. Returns true when an interrupt woke the CPU. The
-    /// idle path is engine-independent by construction.
+    /// Lets a halted CPU sleep for up to `max_cycles` while peripherals —
+    /// and the NIC's netsim world — keep advancing, waking on the first
+    /// dispatchable interrupt. Returns true when an interrupt woke the
+    /// CPU.
+    ///
+    /// Time moves through the event-horizon scheduler: whole stretches of
+    /// halted time are skipped in one batch per device deadline instead
+    /// of 2 cycles at a time, with wake-up times, interrupt order, and
+    /// telemetry byte-identical to the stepwise path
+    /// ([`Board::idle_stepwise`] keeps that path as the oracle). The idle
+    /// path never touches [`Board::engine`], so it is engine-independent
+    /// by construction.
     pub fn idle(&mut self, max_cycles: u64) -> bool {
         let start = self.cpu.cycles;
         while self.cpu.halted && self.cpu.cycles - start < max_cycles {
-            // A halted step cannot fault: it either idles or dispatches.
-            let _ = self.cpu.step(&mut self.mem, &mut self.bus);
+            self.halted_advance(max_cycles - (self.cpu.cycles - start));
         }
         !self.cpu.halted
     }
 
+    /// The pre-batching idle loop: burns halted time 2 cycles at a step
+    /// through [`rabbit::Cpu::step`]. Kept as the reference
+    /// implementation the differential tests compare [`Board::idle`]
+    /// against — and as the measured "before" of the E12 experiment.
+    pub fn idle_stepwise(&mut self, max_cycles: u64) -> bool {
+        let start = self.cpu.cycles;
+        while self.cpu.halted && self.cpu.cycles - start < max_cycles {
+            // A halted step cannot fault: it either idles or dispatches.
+            let cycles_before = self.cpu.cycles;
+            let _ = self.cpu.step(&mut self.mem, &mut self.bus);
+            if self.cpu.halted {
+                self.counters
+                    .idle_cycles
+                    .add(self.cpu.cycles - cycles_before);
+            }
+        }
+        !self.cpu.halted
+    }
+
+    /// One halted scheduling decision: dispatch a pending unmasked
+    /// interrupt exactly as a stepwise halted [`rabbit::Cpu::step`]
+    /// would, or fast-forward to the *event horizon* — the nearest
+    /// [`rabbit::Device::next_deadline`] over the bus, capped by
+    /// `budget` — in a single [`rabbit::Bus::advance`] batch.
+    ///
+    /// Equivalence with the stepwise path: a halted step burns 2 cycles
+    /// and re-polls interrupts, so wake-ups can only happen at
+    /// `start + 2k`; a device event `d` cycles away first becomes
+    /// visible at the poll after `ceil(d / 2)` steps, which is exactly
+    /// where the batch stops. Deadlines are lower bounds, so the batch
+    /// never jumps past an interrupt raise; the bus still ticks devices
+    /// through every intermediate poll boundary inside the batch, so
+    /// device-side work (world advance, frame delivery) happens at the
+    /// same virtual times as before.
+    fn halted_advance(&mut self, budget: u64) {
+        debug_assert!(self.cpu.halted, "halted_advance on a running CPU");
+        debug_assert!(budget > 0, "halted_advance needs a budget");
+        if let Some(req) = self.bus.pending_interrupt() {
+            if req.priority & 3 > self.cpu.priority() {
+                // Dispatch. A halted step cannot fault.
+                let _ = self.cpu.step(&mut self.mem, &mut self.bus);
+                return;
+            }
+        }
+        // Nothing dispatchable (a masked request may stay pending): skip
+        // whole halted steps at once.
+        let mut steps = budget.div_ceil(2);
+        if let Some(d) = self.bus.next_deadline() {
+            steps = steps.min(d.div_ceil(2)).max(1);
+        }
+        let cycles = steps * 2;
+        self.cpu.skip_halted(cycles);
+        self.bus.advance(cycles);
+        self.counters.idle_cycles.add(cycles);
+        self.counters.skip_batches.inc();
+    }
+
     /// Runs until the predicate on the board holds (checked between
     /// instructions) or the budget expires. Returns whether it held.
+    ///
+    /// Execution dispatches through [`Board::engine`] with a
+    /// one-instruction budget — a budget below a block's worth of cycles
+    /// retires exactly one instruction on either engine — so the
+    /// predicate cadence, and therefore every predicate-visible state,
+    /// is identical to the historical single-stepping implementation
+    /// (transient predicates such as "PC is inside the ISR" still fire).
     pub fn run_until(&mut self, max_cycles: u64, mut pred: impl FnMut(&Board) -> bool) -> bool {
         let start = self.cpu.cycles;
         while self.cpu.cycles - start < max_cycles {
             if pred(self) {
                 return true;
             }
-            if let Some(outcome) = self.step() {
+            let outcome = if self.cpu.halted {
+                // Halted wait: the stepwise wake-up cadence is the
+                // predicate-visible contract; keep it.
+                self.step()
+            } else {
+                match self.cpu.run_on(self.engine, &mut self.mem, &mut self.bus, 1) {
+                    Ok(_) => None,
+                    Err(fault) => self.route_fault(fault),
+                }
+            };
+            if let Some(outcome) = outcome {
                 if outcome != RunOutcome::HandlerReset {
                     return pred(self);
                 }

@@ -24,6 +24,17 @@ use crate::{Board, RunOutcome};
 /// TCP port the reference firmware listens on (the echo service).
 pub const ECHO_PORT: u16 = 7;
 
+/// How the driver burns halted time between run slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleMode {
+    /// Event-horizon fast-forward ([`Board::idle`]) — the default.
+    FastForward,
+    /// The 2-cycles-per-step reference path
+    /// ([`Board::idle_stepwise`]), kept as the measured "before" of the
+    /// E12 experiment and the oracle of the differential tests.
+    Stepwise,
+}
+
 /// Result of one echo session.
 #[derive(Debug)]
 pub struct EchoRun {
@@ -52,6 +63,24 @@ pub struct EchoRun {
 /// If the firmware faults, or the session does not converge within a
 /// generous cycle guard.
 pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
+    run_echo_with(engine, msgs, IdleMode::FastForward)
+}
+
+/// [`run_echo`] with an explicit idle strategy. Everything observable —
+/// transcript, cycles, virtual time, `net.*` counters, `board.idle_cycles`
+/// — is byte-identical across modes; only `board.skip_batches` (a count
+/// of scheduler decisions, zero on the stepwise path) and host wall-clock
+/// differ.
+pub fn run_echo_with(engine: Engine, msgs: &[&[u8]], idle: IdleMode) -> EchoRun {
+    run_echo_paced(engine, msgs, idle, 0)
+}
+
+/// [`run_echo_with`] with client think time: after each completed echo
+/// the client waits `gap_us` of *virtual* time before sending the next
+/// message, while the guest sits in `halt` serving nothing — the
+/// idle-heavy request/response shape real serving has, and the workload
+/// the E12 experiment measures. `gap_us = 0` is exactly [`run_echo_with`].
+pub fn run_echo_paced(engine: Engine, msgs: &[&[u8]], idle: IdleMode, gap_us: u64) -> EchoRun {
     // One world, two hosts: the board and the client.
     let world = Rc::new(RefCell::new(World::new(42)));
     let board_host = SimHost::attach(&world, "rmc2000", Ipv4::new(10, 0, 0, 1));
@@ -64,6 +93,9 @@ pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
     let board_ip = board_host.ip();
 
     let mut board = Board::with_engine(engine);
+    // `board.*` scheduler counters land in the world registry, next to
+    // the `net.*` counters, so one snapshot covers the whole session.
+    board.bind_telemetry(world.borrow().telemetry());
     board.attach_nic(Nic::simulated(board_host));
     let image = assemble(&firmware::echo_firmware(ECHO_PORT)).expect("echo firmware assembles");
     board.load(&image);
@@ -80,6 +112,9 @@ pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
     let mut echoed = Vec::new();
     let mut next_msg = 0;
     let mut sent_bytes = 0;
+    // Virtual time before which the client holds the next message back
+    // (its think time).
+    let mut ready_at_us = 0;
 
     // Cycle budget per run slice; idle budget (halted, peripherals
     // ticking) per slice = 100 µs; convergence guard on total cycles.
@@ -94,14 +129,22 @@ pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
         );
         match board.run(RUN_CHUNK) {
             RunOutcome::Halted => {
-                board.idle(IDLE_CHUNK);
+                match idle {
+                    IdleMode::FastForward => board.idle(IDLE_CHUNK),
+                    IdleMode::Stepwise => board.idle_stepwise(IDLE_CHUNK),
+                };
             }
             RunOutcome::BudgetExhausted => {}
             other => panic!("firmware stopped: {other:?}"),
         }
         // Client side: send the next message once everything sent so far
-        // came back, then drain whatever the echo produced.
-        if next_msg < msgs.len() && echoed.len() == sent_bytes && client.established(conn) {
+        // came back and the think time elapsed, then drain whatever the
+        // echo produced.
+        if next_msg < msgs.len()
+            && echoed.len() == sent_bytes
+            && client.now() >= ready_at_us
+            && client.established(conn)
+        {
             let msg = msgs[next_msg];
             assert_eq!(client.send(conn, msg), msg.len(), "client send fits");
             sent_bytes += msg.len();
@@ -114,6 +157,9 @@ pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
                 buf.truncate(n);
                 echoed.extend_from_slice(&buf);
             }
+            if echoed.len() == sent_bytes {
+                ready_at_us = client.now() + gap_us;
+            }
         }
     }
 
@@ -121,7 +167,10 @@ pub fn run_echo(engine: Engine, msgs: &[&[u8]]) -> EchoRun {
     client.close(conn);
     for _ in 0..20 {
         if board.run(RUN_CHUNK) == RunOutcome::Halted {
-            board.idle(IDLE_CHUNK);
+            match idle {
+                IdleMode::FastForward => board.idle(IDLE_CHUNK),
+                IdleMode::Stepwise => board.idle_stepwise(IDLE_CHUNK),
+            };
         }
     }
 

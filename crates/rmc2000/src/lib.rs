@@ -35,7 +35,7 @@ pub mod firmware;
 pub mod nic;
 pub mod serial;
 
-pub use board::{Board, Rtc, RunOutcome};
+pub use board::{Board, BoardCounters, Rtc, RunOutcome};
 pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
 pub use serial::{SerialPort, SERIAL_A_VECTOR};
 

