@@ -140,6 +140,10 @@ pub struct Function {
     pub locals: Vec<VarDecl>,
     /// Body.
     pub body: Vec<Stmt>,
+    /// Declared with the `interrupt` qualifier: compiled with a full
+    /// register save/restore prologue and a `reti` return, reachable
+    /// only through an interrupt vector (never a C call).
+    pub interrupt: bool,
 }
 
 /// A whole translation unit.

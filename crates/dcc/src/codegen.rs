@@ -89,6 +89,8 @@ struct Codegen<'p> {
     loops: Vec<(String, String)>,
     current_fn: String,
     used_runtime: RuntimeUse,
+    /// Interrupt vectors to emit: (vector address, C function name).
+    vectors: Vec<(u16, String)>,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -96,7 +98,29 @@ struct RuntimeUse {
     div: bool,
     shl: bool,
     shr: bool,
+    nic_recv: bool,
+    nic_send: bool,
 }
+
+/// The intrinsic functions of `nic.h`/`serial.h` — recognised by name in
+/// call position and lowered directly to I/O port sequences, before any
+/// user-function lookup. A user program cannot define functions with
+/// these names.
+pub const BUILTINS: &[&str] = &[
+    "nic_listen",
+    "nic_ier",
+    "nic_conn",
+    "nic_status",
+    "nic_accept",
+    "nic_close",
+    "nic_recv",
+    "nic_send",
+    "serial_init",
+    "serial_status",
+    "serial_getc",
+    "serial_putc",
+    "idle",
+];
 
 /// Compiles a parsed program to assembly text.
 ///
@@ -104,6 +128,21 @@ struct RuntimeUse {
 ///
 /// [`CompileError`] on semantic errors (undefined names, bad calls).
 pub fn compile_program(prog: &Program, opts: Options) -> Result<String, CompileError> {
+    compile_program_vectors(prog, opts, &[])
+}
+
+/// As [`compile_program`], but additionally emits an interrupt-vector
+/// stub (`org <addr>; jp _<name>`) for each `(addr, name)` pair. Each
+/// named function must exist and be declared `interrupt`.
+///
+/// # Errors
+///
+/// [`CompileError`] on semantic errors, including bad vector targets.
+pub fn compile_program_vectors(
+    prog: &Program,
+    opts: Options,
+    vectors: &[(u16, &str)],
+) -> Result<String, CompileError> {
     let mut globals = HashMap::new();
     for g in &prog.globals {
         let place = if opts.root_data { Place::Root } else { g.place };
@@ -150,6 +189,10 @@ pub fn compile_program(prog: &Program, opts: Options) -> Result<String, CompileE
         loops: Vec::new(),
         current_fn: String::new(),
         used_runtime: RuntimeUse::default(),
+        vectors: vectors
+            .iter()
+            .map(|&(addr, name)| (addr, name.to_string()))
+            .collect(),
     };
     cg.emit_all()?;
     Ok(cg.out.join("\n") + "\n")
@@ -163,6 +206,12 @@ fn gsym(name: &str) -> String {
 
 fn mangled(func: &str, var: &str) -> String {
     format!("_{func}__{var}")
+}
+
+/// Label of an interrupt function's shared restore-and-`reti` epilogue
+/// (`return;` inside the body jumps here).
+fn isr_epilogue(func: &str) -> String {
+    format!("_{func}__reti")
 }
 
 impl Codegen<'_> {
@@ -193,6 +242,22 @@ impl Codegen<'_> {
             .push(format!("        org {:#06x}", layout::DEBUG_VECTOR));
         self.emit("ret");
 
+        // Interrupt vectors: `jp` stubs into the C service routines.
+        let vectors = self.vectors.clone();
+        for (addr, fname) in &vectors {
+            let f = self
+                .prog
+                .function(fname)
+                .ok_or_else(|| self.err(format!("vector target `{fname}` is not defined")))?;
+            if !f.interrupt {
+                return Err(self.err(format!(
+                    "vector target `{fname}` must be an `interrupt` function"
+                )));
+            }
+            self.out.push(format!("        org {addr:#06x}"));
+            self.emit(format!("jp {}", gsym(fname)));
+        }
+
         // Entry stub.
         self.out
             .push(format!("        org {:#06x}", layout::CODE_ORG));
@@ -204,15 +269,38 @@ impl Codegen<'_> {
         // Functions.
         let funcs: Vec<Function> = self.prog.functions.clone();
         for f in &funcs {
+            if BUILTINS.contains(&f.name.as_str()) {
+                return Err(self.err(format!("`{}` redefines a compiler intrinsic", f.name)));
+            }
+            if f.interrupt && f.name == "main" {
+                return Err(self.err("`main` cannot be an interrupt function"));
+            }
             self.current_fn = f.name.clone();
             let fsym = gsym(&f.name);
             self.label(&fsym);
+            if f.interrupt {
+                // Dynamic C's ISR prologue: save everything the body may
+                // touch; the matching epilogue restores and `reti`s.
+                self.emit("push af");
+                self.emit("push bc");
+                self.emit("push de");
+                self.emit("push hl");
+            }
             for stmt in &f.body {
                 self.stmt(f, stmt)?;
             }
-            // Implicit return 0.
-            self.emit("ld hl, 0");
-            self.emit("ret");
+            if f.interrupt {
+                self.label(&isr_epilogue(&f.name));
+                self.emit("pop hl");
+                self.emit("pop de");
+                self.emit("pop bc");
+                self.emit("pop af");
+                self.emit("reti");
+            } else {
+                // Implicit return 0.
+                self.emit("ld hl, 0");
+                self.emit("ret");
+            }
         }
 
         self.emit_runtime();
@@ -281,6 +369,65 @@ impl Codegen<'_> {
             self.emit("djnz __shl_loop");
             self.emit("pop bc");
             self.emit("ret");
+        }
+        {
+            use rabbit::nicmap as nm;
+            if self.used_runtime.nic_recv {
+                // Copies the selected handle's pending frame to (DE) and
+                // consumes it (`RX_NEXT`); returns the length in BC — 0
+                // when nothing was pending, in which case no `RX_NEXT` is
+                // issued (an empty-queue `RX_NEXT` would set STATUS_ERR).
+                self.label("__nic_recv");
+                self.emit(format!("ioe ld a, ({:#06x})", nm::NIC_RXLEN_LO));
+                self.emit("ld c, a");
+                self.emit(format!("ioe ld a, ({:#06x})", nm::NIC_RXLEN_HI));
+                self.emit("ld b, a");
+                self.emit("ld a, b");
+                self.emit("or c");
+                self.emit("jr z, __nr_done");
+                self.emit("push bc");
+                self.emit(format!("ld hl, {:#06x}", nm::NIC_RX_WINDOW));
+                self.label("__nr_loop");
+                self.emit("ioe ld a, (hl)");
+                self.emit("ld (de), a");
+                self.emit("inc hl");
+                self.emit("inc de");
+                self.emit("dec bc");
+                self.emit("ld a, b");
+                self.emit("or c");
+                self.emit("jr nz, __nr_loop");
+                self.emit("pop bc");
+                self.emit(format!("ld a, {}", nm::CMD_RX_NEXT));
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_CMD));
+                self.label("__nr_done");
+                self.emit("ret");
+            }
+            if self.used_runtime.nic_send {
+                // Stages BC bytes from (HL) into the tx window of the
+                // selected handle and fires `TX_GO`.
+                self.label("__nic_send");
+                self.emit("ld a, c");
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_TXLEN_LO));
+                self.emit("ld a, b");
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_TXLEN_HI));
+                self.emit("ld a, b");
+                self.emit("or c");
+                self.emit("jr z, __ns_go");
+                self.emit(format!("ld de, {:#06x}", nm::NIC_TX_WINDOW));
+                self.label("__ns_loop");
+                self.emit("ld a, (hl)");
+                self.emit("ioe ld (de), a");
+                self.emit("inc hl");
+                self.emit("inc de");
+                self.emit("dec bc");
+                self.emit("ld a, b");
+                self.emit("or c");
+                self.emit("jr nz, __ns_loop");
+                self.label("__ns_go");
+                self.emit(format!("ld a, {}", nm::CMD_TX_GO));
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_CMD));
+                self.emit("ret");
+            }
         }
         if self.used_runtime.shr {
             // HL >> E
@@ -498,6 +645,14 @@ impl Codegen<'_> {
                 self.expr(f, e)?;
             }
             Stmt::Return(e) => {
+                if f.interrupt {
+                    if e.is_some() {
+                        return Err(self.err("interrupt function cannot return a value"));
+                    }
+                    let epi = isr_epilogue(&f.name);
+                    self.emit(format!("jp {epi}"));
+                    return Ok(());
+                }
                 match e {
                     Some(e) => self.expr(f, e)?,
                     None => self.emit("ld hl, 0"),
@@ -736,11 +891,19 @@ impl Codegen<'_> {
                 }
             }
             Expr::Call(name, args) => {
+                if BUILTINS.contains(&name.as_str()) {
+                    return self.builtin(f, name, args);
+                }
                 let callee = self
                     .prog
                     .function(name)
                     .ok_or_else(|| self.err(format!("undefined function `{name}`")))?
                     .clone();
+                if callee.interrupt {
+                    return Err(self.err(format!(
+                        "cannot call interrupt function `{name}` (reachable only via its vector)"
+                    )));
+                }
                 if args.len() != callee.params.len() {
                     return Err(self.err(format!(
                         "`{name}` takes {} arguments, got {}",
@@ -763,6 +926,166 @@ impl Codegen<'_> {
                 }
                 self.emit(format!("call {}", gsym(name)));
             }
+        }
+        Ok(())
+    }
+
+    // ---- nic.h / serial.h intrinsics -----------------------------------
+
+    /// Arity check for an intrinsic call.
+    fn arity(&self, name: &str, args: &[Expr], n: usize) -> Result<(), CompileError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "`{name}` takes {n} argument(s), got {}",
+                args.len()
+            )))
+        }
+    }
+
+    /// Reads the NIC status register into HL (L = status, H = 0) — every
+    /// command intrinsic returns the post-command status so C code can
+    /// test `STATUS_ERR` without a second call.
+    fn nic_status_to_hl(&mut self) {
+        self.emit(format!("ioe ld a, ({:#06x})", rabbit::nicmap::NIC_STATUS));
+        self.emit("ld l, a");
+        self.emit("ld h, 0");
+    }
+
+    /// Selects the connection handle currently in L (writes `CONN`).
+    fn nic_select_from_hl(&mut self) {
+        self.emit("ld a, l");
+        self.emit(format!("ioe ld ({:#06x}), a", rabbit::nicmap::NIC_CONN));
+    }
+
+    /// Validates a buffer argument of `nic_recv`/`nic_send`: must name a
+    /// `char` array in root memory (the window-copy shims run with plain
+    /// 16-bit pointers, so the buffer cannot sit behind the XPC window).
+    fn nic_buffer(&self, f: &Function, name: &str, arg: &Expr) -> Result<String, CompileError> {
+        let Expr::Var(bname) = arg else {
+            return Err(self.err(format!("`{name}` buffer must be an array name")));
+        };
+        let (sym, info) = self.var_info(f, bname)?;
+        if !info.array || info.ty != Ty::Char {
+            return Err(self.err(format!("`{name}` buffer `{bname}` must be a char array")));
+        }
+        if info.place != Place::Root {
+            return Err(self.err(format!(
+                "`{name}` buffer `{bname}` must live in root memory (declare it `root`)"
+            )));
+        }
+        Ok(sym)
+    }
+
+    /// Lowers one intrinsic call. The sequences are the same port traffic
+    /// the hand-written shims in `rmc2000::firmware` perform, generated
+    /// from the same [`rabbit::nicmap`] register map.
+    fn builtin(&mut self, f: &Function, name: &str, args: &[Expr]) -> Result<(), CompileError> {
+        use rabbit::io::ports;
+        use rabbit::nicmap as nm;
+        match name {
+            "nic_listen" => {
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.emit("ld a, l");
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_LPORT_LO));
+                self.emit("ld a, h");
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_LPORT_HI));
+                self.emit(format!("ld a, {}", nm::CMD_LISTEN));
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_CMD));
+                self.nic_status_to_hl();
+            }
+            "nic_ier" => {
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.emit("ld a, l");
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_IER));
+            }
+            "nic_status" => {
+                self.arity(name, args, 0)?;
+                self.nic_status_to_hl();
+            }
+            "nic_conn" => {
+                // Select connection handle, return its status view.
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.nic_select_from_hl();
+                self.nic_status_to_hl();
+            }
+            "nic_accept" | "nic_close" => {
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.nic_select_from_hl();
+                let cmd = if name == "nic_accept" {
+                    nm::CMD_ACCEPT
+                } else {
+                    nm::CMD_CLOSE
+                };
+                self.emit(format!("ld a, {cmd}"));
+                self.emit(format!("ioe ld ({:#06x}), a", nm::NIC_CMD));
+                self.nic_status_to_hl();
+            }
+            "nic_recv" => {
+                self.arity(name, args, 2)?;
+                let sym = self.nic_buffer(f, name, &args[1])?;
+                self.expr(f, &args[0])?;
+                self.nic_select_from_hl();
+                self.emit(format!("ld de, {sym}"));
+                self.used_runtime.nic_recv = true;
+                self.emit("call __nic_recv");
+                // Return the received length.
+                self.emit("ld h, b");
+                self.emit("ld l, c");
+            }
+            "nic_send" => {
+                self.arity(name, args, 3)?;
+                let sym = self.nic_buffer(f, name, &args[1])?;
+                self.expr(f, &args[0])?;
+                self.nic_select_from_hl();
+                self.expr(f, &args[2])?;
+                self.emit("ld b, h");
+                self.emit("ld c, l");
+                self.emit(format!("ld hl, {sym}"));
+                self.used_runtime.nic_send = true;
+                self.emit("call __nic_send");
+                self.nic_status_to_hl();
+            }
+            "serial_init" => {
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.emit("ld a, l");
+                self.emit(format!("ioi ld ({:#04x}), a", ports::SACR));
+            }
+            "serial_status" => {
+                self.arity(name, args, 0)?;
+                self.emit(format!("ioi ld a, ({:#04x})", ports::SASR));
+                self.emit("ld l, a");
+                self.emit("ld h, 0");
+            }
+            "serial_getc" => {
+                self.arity(name, args, 0)?;
+                self.emit(format!("ioi ld a, ({:#04x})", ports::SADR));
+                self.emit("ld l, a");
+                self.emit("ld h, 0");
+            }
+            "serial_putc" => {
+                self.arity(name, args, 1)?;
+                self.expr(f, &args[0])?;
+                self.emit("ld a, l");
+                self.emit(format!("ioi ld ({:#04x}), a", ports::SADR));
+            }
+            "idle" => {
+                self.arity(name, args, 0)?;
+                // The safe sleep idiom: every instruction of the spin is
+                // a block terminator, so both execution engines sample
+                // interrupts at the same points.
+                let spin = self.fresh("spin");
+                self.label(&spin);
+                self.emit("halt");
+                self.emit(format!("jr {spin}"));
+            }
+            _ => unreachable!("BUILTINS gate"),
         }
         Ok(())
     }
@@ -916,10 +1239,210 @@ fn body_has_loop_escape(body: &[Stmt]) -> bool {
 ///
 /// [`CompileError`] from the lexer, parser or code generator.
 pub fn compile(source: &str, opts: Options) -> Result<String, CompileError> {
+    compile_firmware(source, opts, &[])
+}
+
+/// Compiles source text as *firmware*: in addition to [`compile`], emits
+/// an interrupt-vector `jp` stub for each `(vector address, interrupt
+/// function name)` pair, so the image can service hardware interrupts
+/// (NIC, serial) entirely from C.
+///
+/// # Errors
+///
+/// [`CompileError`] from the lexer, parser or code generator, including
+/// vectors naming missing or non-`interrupt` functions.
+pub fn compile_firmware(
+    source: &str,
+    opts: Options,
+    vectors: &[(u16, &str)],
+) -> Result<String, CompileError> {
     let prog = crate::parser::parse(source)?;
-    let mut asm = compile_program(&prog, opts)?;
+    let mut asm = compile_program_vectors(&prog, opts, vectors)?;
     if opts.peephole {
         asm = peephole::optimize(&asm);
     }
     Ok(asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rabbit::nicmap as nm;
+
+    const ECHO_C: &str = "\
+        root char buf[64];\n\
+        interrupt void nic_isr() {\n\
+            int st;\n\
+            int n;\n\
+            while (1) {\n\
+                st = nic_status();\n\
+                if ((st & 0x40) && !(st & 0x04)) { nic_accept(0); continue; }\n\
+                if (st & 0x02) { n = nic_recv(0, buf); nic_send(0, buf, n); continue; }\n\
+                if ((st & 0x08) && (st & 0x04)) { nic_close(0); continue; }\n\
+                return;\n\
+            }\n\
+        }\n\
+        int main() {\n\
+            nic_listen(7);\n\
+            nic_ier(1);\n\
+            idle();\n\
+            return 0;\n\
+        }\n";
+
+    #[test]
+    fn interrupt_function_gets_isr_prologue_and_reti() {
+        let asm = compile(
+            "interrupt void tick() { return; }\nint main() { idle(); return 0; }",
+            Options::baseline(),
+        )
+        .unwrap();
+        let tick = asm.split("_tick:").nth(1).unwrap();
+        for save in ["push af", "push bc", "push de", "push hl"] {
+            assert!(tick.contains(save), "missing `{save}`:\n{asm}");
+        }
+        assert!(tick.contains("reti"), "{asm}");
+        // `return;` jumps to the shared epilogue instead of `ret`.
+        assert!(tick.contains("jp _tick__reti"), "{asm}");
+        assert!(!tick.split("reti").next().unwrap().contains("\n        ret\n"));
+    }
+
+    #[test]
+    fn vectors_emit_jp_stubs_at_their_orgs() {
+        let asm = compile_firmware(ECHO_C, Options::baseline(), &[(0x00F0, "nic_isr")]).unwrap();
+        assert!(asm.contains("org 0x00f0"), "{asm}");
+        assert!(asm.contains("jp _nic_isr"), "{asm}");
+        let image = rabbit::assemble(&asm).expect("firmware assembles");
+        assert!(image.sections.iter().any(|s| s.addr == 0x00F0));
+    }
+
+    #[test]
+    fn echo_firmware_assembles_with_all_optimizations() {
+        let asm =
+            compile_firmware(ECHO_C, Options::all_optimizations(), &[(0x00F0, "nic_isr")]).unwrap();
+        rabbit::assemble(&asm).expect("optimized firmware assembles");
+    }
+
+    #[test]
+    fn nic_intrinsics_lower_to_register_file_ports() {
+        let asm = compile(ECHO_C, Options::baseline()).unwrap();
+        // listen: port halves then the LISTEN command.
+        assert!(asm.contains(&format!("ioe ld ({:#06x}), a", nm::NIC_LPORT_LO)));
+        assert!(asm.contains(&format!("ioe ld ({:#06x}), a", nm::NIC_LPORT_HI)));
+        // accept/close: handle select via CONN, then the command register.
+        assert!(asm.contains(&format!("ioe ld ({:#06x}), a", nm::NIC_CONN)));
+        assert!(asm.contains(&format!("ioe ld ({:#06x}), a", nm::NIC_CMD)));
+        // status reads come back through HL.
+        assert!(asm.contains(&format!("ioe ld a, ({:#06x})", nm::NIC_STATUS)));
+        // window-copy shims pulled in on demand.
+        assert!(asm.contains("__nic_recv:"), "{asm}");
+        assert!(asm.contains("__nic_send:"), "{asm}");
+        assert!(asm.contains(&format!("ld hl, {:#06x}", nm::NIC_RX_WINDOW)));
+        assert!(asm.contains(&format!("ld de, {:#06x}", nm::NIC_TX_WINDOW)));
+    }
+
+    #[test]
+    fn serial_intrinsics_lower_to_internal_ports() {
+        let asm = compile(
+            "interrupt void ser() { int c; c = serial_getc(); serial_putc(c); }\n\
+             int main() { serial_init(2); idle(); return 0; }",
+            Options::baseline(),
+        )
+        .unwrap();
+        use rabbit::io::ports;
+        assert!(asm.contains(&format!("ioi ld ({:#04x}), a", ports::SACR)));
+        assert!(asm.contains(&format!("ioi ld a, ({:#04x})", ports::SADR)));
+        assert!(asm.contains(&format!("ioi ld ({:#04x}), a", ports::SADR)));
+    }
+
+    #[test]
+    fn idle_emits_the_halt_spin() {
+        let asm = compile("int main() { idle(); return 0; }", Options::baseline()).unwrap();
+        let spin = asm.split("_spin:").nth(1).expect("spin label");
+        assert!(spin.trim_start().starts_with("halt"), "{asm}");
+        assert!(spin.contains("jr L"), "{asm}");
+    }
+
+    #[test]
+    fn runtime_shims_only_emitted_when_used() {
+        let asm = compile("int main() { return 1; }", Options::baseline()).unwrap();
+        assert!(!asm.contains("__nic_recv"));
+        assert!(!asm.contains("__nic_send"));
+    }
+
+    #[test]
+    fn interrupt_function_rejects_value_return() {
+        let err = compile(
+            "interrupt void f() { return 1; }\nint main() { return 0; }",
+            Options::baseline(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cannot return a value"), "{err}");
+    }
+
+    #[test]
+    fn interrupt_function_cannot_be_called() {
+        let err = compile(
+            "interrupt void f() { }\nint main() { f(); return 0; }",
+            Options::baseline(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("cannot call interrupt"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_interrupt_with_params_or_result() {
+        assert!(compile(
+            "interrupt void f(int x) { }\nint main() { return 0; }",
+            Options::baseline()
+        )
+        .is_err());
+        assert!(compile(
+            "interrupt int f() { return 1; }\nint main() { return 0; }",
+            Options::baseline()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn redefining_an_intrinsic_errors() {
+        let err = compile(
+            "int nic_status() { return 0; }\nint main() { return 0; }",
+            Options::baseline(),
+        )
+        .unwrap_err();
+        assert!(err.message.contains("intrinsic"), "{err}");
+    }
+
+    #[test]
+    fn vector_must_name_an_interrupt_function() {
+        let err = compile_firmware(
+            "void f() { }\nint main() { return 0; }",
+            Options::baseline(),
+            &[(0x00F0, "f")],
+        )
+        .unwrap_err();
+        assert!(err.message.contains("must be an `interrupt`"), "{err}");
+        let err = compile_firmware(
+            "int main() { return 0; }",
+            Options::baseline(),
+            &[(0x00F0, "ghost")],
+        )
+        .unwrap_err();
+        assert!(err.message.contains("not defined"), "{err}");
+    }
+
+    #[test]
+    fn nic_buffer_must_be_root_char_array() {
+        let opts = Options::baseline(); // root_data off, so `xmem` sticks
+        let err = compile(
+            "xmem char buf[8];\nint main() { nic_recv(0, buf); return 0; }",
+            opts,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("root memory"), "{err}");
+        let err = compile("int n;\nint main() { nic_recv(0, n); return 0; }", opts).unwrap_err();
+        assert!(err.message.contains("char array"), "{err}");
+        let err = compile("int main() { nic_send(0, 5, 1); return 0; }", opts).unwrap_err();
+        assert!(err.message.contains("array name"), "{err}");
+    }
 }

@@ -6,7 +6,7 @@
 
 use rabbit::{assemble, Cpu, Image, Memory, NullIo};
 
-use crate::codegen::{compile, layout, Options};
+use crate::codegen::{compile, compile_firmware, layout, Options};
 use crate::lexer::CompileError;
 
 /// A compiled, assembled program.
@@ -73,6 +73,25 @@ pub fn load_phys(addr: u16) -> u32 {
 /// [`HarnessError::Compile`] or [`HarnessError::Assemble`].
 pub fn build(source: &str, opts: Options) -> Result<Build, HarnessError> {
     let asm = compile(source, opts)?;
+    let image = assemble(&asm).map_err(|e| HarnessError::Assemble(e.to_string()))?;
+    Ok(Build { asm, image, opts })
+}
+
+/// Compiles and assembles a *firmware* program: interrupt vectors from
+/// `vectors` (address, `interrupt` function name) are emitted alongside
+/// the code, for images that run on a full [`rmc2000`-style] board with
+/// NIC and serial interrupts rather than under the halt-and-read-result
+/// harness.
+///
+/// # Errors
+///
+/// [`HarnessError::Compile`] or [`HarnessError::Assemble`].
+pub fn build_firmware(
+    source: &str,
+    opts: Options,
+    vectors: &[(u16, &str)],
+) -> Result<Build, HarnessError> {
+    let asm = compile_firmware(source, opts, vectors)?;
     let image = assemble(&asm).map_err(|e| HarnessError::Assemble(e.to_string()))?;
     Ok(Build { asm, image, opts })
 }

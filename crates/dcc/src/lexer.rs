@@ -48,6 +48,9 @@ pub enum Kw {
     Auto,
     /// `const` (accepted, tables stay writable in our model).
     Const,
+    /// Dynamic C's `interrupt` qualifier: the function is an interrupt
+    /// service routine (register save/restore prologue, `reti` return).
+    Interrupt,
 }
 
 impl fmt::Display for Tok {
@@ -96,6 +99,7 @@ fn keyword(s: &str) -> Option<Kw> {
         "xmem" => Kw::Xmem,
         "auto" => Kw::Auto,
         "const" => Kw::Const,
+        "interrupt" => Kw::Interrupt,
         _ => return None,
     })
 }

@@ -36,8 +36,8 @@ pub mod lexer;
 pub mod parser;
 pub mod peephole;
 
-pub use codegen::{compile, layout, Options};
-pub use harness::{build, Build, HarnessError, RunResult};
+pub use codegen::{compile, compile_firmware, layout, Options, BUILTINS};
+pub use harness::{build, build_firmware, Build, HarnessError, RunResult};
 pub use interp::Interp;
 pub use lexer::CompileError;
 pub use parser::parse;

@@ -169,6 +169,7 @@ impl Parser {
     fn program(&mut self) -> Result<Program, CompileError> {
         let mut prog = Program::default();
         while !matches!(self.peek(), Tok::Eof) {
+            let isr = self.eat_kw(Kw::Interrupt);
             let Some((ty, place)) = self.try_type()? else {
                 return Err(self.err(format!(
                     "expected declaration or function, found {}",
@@ -179,9 +180,21 @@ impl Parser {
             let save = self.pos;
             let name = self.ident()?;
             if self.eat_punct("(") {
-                let f = self.function(ty, name)?;
+                let mut f = self.function(ty, name)?;
+                if isr {
+                    if f.ret != Ty::Void {
+                        return Err(self.err("interrupt function must return void"));
+                    }
+                    if !f.params.is_empty() {
+                        return Err(self.err("interrupt function takes no parameters"));
+                    }
+                    f.interrupt = true;
+                }
                 prog.functions.push(f);
             } else {
+                if isr {
+                    return Err(self.err("`interrupt` requires a function definition"));
+                }
                 self.pos = save;
                 if ty == Ty::Void {
                     return Err(self.err("void variable"));
@@ -244,6 +257,7 @@ impl Parser {
             params,
             locals,
             body,
+            interrupt: false,
         })
     }
 

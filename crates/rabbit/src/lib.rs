@@ -57,6 +57,7 @@ pub mod fwmap;
 pub mod io;
 pub mod isa;
 pub mod mem;
+pub mod nicmap;
 pub mod registers;
 
 pub use asm::{assemble, AsmError, Image, Section};

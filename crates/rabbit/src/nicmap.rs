@@ -1,0 +1,90 @@
+//! The board NIC's external-I/O register map, shared across the repo.
+//!
+//! One definition for everyone who speaks to the NIC: the device model
+//! (`rmc2000::nic`), the hand-written firmware shims
+//! (`rmc2000::firmware`), and the `dcc` code generator's `nic.h`-style
+//! intrinsics (which lower straight to `ioe` accesses against these
+//! ports). `dcc` cannot depend on `rmc2000` — the board crate depends on
+//! the compiler to build its C firmware — so the map lives here, next to
+//! [`crate::fwmap`], the analogous shared memory map.
+//!
+//! # Register bank (external I/O space)
+//!
+//! | port | dir | register |
+//! |------|-----|----------|
+//! | `0x0300` | w | `CMD`: 1 LISTEN, 2 `TX_GO`, 3 `RX_NEXT`, 4 ACCEPT, 5 CLOSE |
+//! | `0x0301` | r | `STATUS` (see the `STATUS_*` bits) |
+//! | `0x0302` | w | `IER`: bit0 enables the NIC interrupt |
+//! | `0x0303/4` | r | `RXLEN` lo/hi: length of the selected handle's rx frame |
+//! | `0x0305/6` | w | `TXLEN` lo/hi: length for the next `TX_GO` |
+//! | `0x0307/8` | w | `LPORT` lo/hi: TCP port for LISTEN (default 7) |
+//! | `0x0309` | rw | `CONN`: connection-handle select (`0..MAX_CONNS`) |
+//! | `0x1000..` | r | rx window: bytes of the selected handle's rx frame |
+//! | `0x1800..` | w | tx window: staging buffer for `TX_GO` |
+//!
+//! `RXLEN`, the rx window, `TX_GO`, `RX_NEXT`, `ACCEPT`, `CLOSE` and the
+//! per-connection `STATUS` bits all act on the handle currently selected
+//! in `CONN`; `LISTEN`, `IER`, `LPORT` and the global `STATUS` bits are
+//! handle-independent.
+
+/// Connection handles the register file exposes — the paper's limit of
+/// three concurrent connections.
+pub const MAX_CONNS: usize = 3;
+
+/// Base of the NIC register bank in external I/O space.
+pub const NIC_BASE: u16 = 0x0300;
+/// Command register (write).
+pub const NIC_CMD: u16 = NIC_BASE;
+/// Status register (read).
+pub const NIC_STATUS: u16 = NIC_BASE + 1;
+/// Interrupt-enable register (write).
+pub const NIC_IER: u16 = NIC_BASE + 2;
+/// Selected handle's current rx frame length, low byte (read).
+pub const NIC_RXLEN_LO: u16 = NIC_BASE + 3;
+/// Selected handle's current rx frame length, high byte (read).
+pub const NIC_RXLEN_HI: u16 = NIC_BASE + 4;
+/// Tx length, low byte (write).
+pub const NIC_TXLEN_LO: u16 = NIC_BASE + 5;
+/// Tx length, high byte (write).
+pub const NIC_TXLEN_HI: u16 = NIC_BASE + 6;
+/// Listen port, low byte (write).
+pub const NIC_LPORT_LO: u16 = NIC_BASE + 7;
+/// Listen port, high byte (write).
+pub const NIC_LPORT_HI: u16 = NIC_BASE + 8;
+/// Connection-handle select register (read/write).
+pub const NIC_CONN: u16 = NIC_BASE + 9;
+/// Start of the receive window in external I/O space.
+pub const NIC_RX_WINDOW: u16 = 0x1000;
+/// Start of the transmit window in external I/O space.
+pub const NIC_TX_WINDOW: u16 = 0x1800;
+
+/// `CMD` value: open the listening socket on the configured port.
+pub const CMD_LISTEN: u8 = 1;
+/// `CMD` value: transmit `TXLEN` bytes from the tx window on the selected
+/// handle.
+pub const CMD_TX_GO: u8 = 2;
+/// `CMD` value: consume the selected handle's current rx frame.
+pub const CMD_RX_NEXT: u8 = 3;
+/// `CMD` value: bind the next pending connection to the selected handle.
+pub const CMD_ACCEPT: u8 = 4;
+/// `CMD` value: close the selected handle and free it.
+pub const CMD_CLOSE: u8 = 5;
+
+/// `STATUS` bit: link up (backend attached). Global.
+pub const STATUS_LINK: u8 = 0x01;
+/// `STATUS` bit: a received frame waits on the selected handle.
+pub const STATUS_RX_AVAIL: u8 = 0x02;
+/// `STATUS` bit: the selected handle is open (bound to a connection) and
+/// can take a `TX_GO`.
+pub const STATUS_TX_READY: u8 = 0x04;
+/// `STATUS` bit: the selected handle's peer closed its direction.
+pub const STATUS_PEER_CLOSED: u8 = 0x08;
+/// `STATUS` bit: the selected handle's TCP connection is established.
+pub const STATUS_ESTABLISHED: u8 = 0x10;
+/// `STATUS` bit: the previous command failed (bad handle, no pending
+/// connection, double LISTEN, empty rx queue). Global; each `CMD` write
+/// rewrites it. Failed commands change nothing else.
+pub const STATUS_ERR: u8 = 0x20;
+/// `STATUS` bit: a connection waits in the listen backlog for an
+/// `ACCEPT`. Global.
+pub const STATUS_ACCEPT_READY: u8 = 0x40;

@@ -34,10 +34,12 @@ pub mod echo;
 pub mod firmware;
 pub mod nic;
 pub mod serial;
+pub mod serve;
 
 pub use board::{Board, BoardCounters, Rtc, RunOutcome};
 pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
 pub use serial::{SerialPort, SERIAL_A_VECTOR};
+pub use serve::{serve_clients, ServeRun, SERVE_PORT};
 
 // The loader's address convention is the repo-wide one (shared with the
 // `dcc` harness); re-exported so existing `rmc2000::load_phys` callers

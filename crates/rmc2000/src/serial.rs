@@ -17,8 +17,12 @@ pub const SERIAL_A_VECTOR: u16 = 0x00E0;
 pub struct SerialPort {
     rx: VecDeque<u8>,
     tx: Vec<u8>,
-    /// Receive interrupts enabled (`SACR` bit 0).
-    pub rx_interrupt_enabled: bool,
+    /// Receive interrupt priority (`SACR` bits 0-1); 0 disables the
+    /// interrupt. Writing 1 gives the historical priority-1 behaviour;
+    /// 2 or 3 let the console preempt priority-1 sources such as the
+    /// NIC — the paper's debugging channel staying responsive under
+    /// network load.
+    pub rx_priority: u8,
     irq_pending: bool,
     /// Characters dropped because the receive FIFO overflowed.
     pub overruns: u64,
@@ -50,7 +54,7 @@ impl SerialPort {
             return;
         }
         self.rx.push_back(byte);
-        if self.rx_interrupt_enabled {
+        if self.rx_priority != 0 {
             self.irq_pending = true;
         }
     }
@@ -102,7 +106,7 @@ impl SerialPort {
                 }
                 Some(st)
             }
-            ports::SACR => Some(u8::from(self.rx_interrupt_enabled)),
+            ports::SACR => Some(self.rx_priority),
             _ => None,
         }
     }
@@ -122,8 +126,8 @@ impl SerialPort {
                 true
             }
             ports::SACR => {
-                self.rx_interrupt_enabled = value & 1 != 0;
-                if !self.rx_interrupt_enabled {
+                self.rx_priority = value & 3;
+                if self.rx_priority == 0 {
                     self.irq_pending = false;
                 } else if !self.rx.is_empty() {
                     self.irq_pending = true;
@@ -134,10 +138,10 @@ impl SerialPort {
         }
     }
 
-    /// Pending interrupt request, if any.
+    /// Pending interrupt request, if any, at the configured priority.
     pub fn pending(&self) -> Option<Interrupt> {
         self.irq_pending.then_some(Interrupt {
-            priority: 1,
+            priority: self.rx_priority,
             vector: SERIAL_A_VECTOR,
         })
     }
@@ -228,6 +232,24 @@ mod tests {
         assert!(sp.pending().is_some(), "enable with data pending raises");
         sp.read(ports::SADR);
         assert!(sp.pending().is_none(), "draining clears");
+    }
+
+    #[test]
+    fn sacr_sets_interrupt_priority() {
+        let mut sp = SerialPort::new();
+        sp.write(ports::SACR, 2);
+        sp.inject(b'!');
+        assert_eq!(
+            sp.pending(),
+            Some(Interrupt {
+                priority: 2,
+                vector: SERIAL_A_VECTOR
+            })
+        );
+        assert_eq!(sp.read(ports::SACR).unwrap(), 2);
+        // Priority 0 disables and clears.
+        sp.write(ports::SACR, 0);
+        assert!(sp.pending().is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::rc::Rc;
 use netsim::{Endpoint, Ipv4, LinkParams, Recv, SimHost, SocketId, World};
 use proptest::prelude::*;
 use rabbit::{assemble, Engine};
-use rmc2000::firmware::{nic_equates, nic_shims, ECHO_BUF};
+use rmc2000::firmware::{nic_equates, nic_isr_body, nic_shims};
 use rmc2000::nic::Nic;
 use rmc2000::{Board, NIC_VECTOR, SERIAL_A_VECTOR};
 
@@ -35,6 +35,7 @@ const SER_COUNT: u16 = 0x8101;
 fn firmware() -> String {
     let equates = nic_equates();
     let shims = nic_shims();
+    let isr_body = nic_isr_body();
     format!(
         "{equates}\
          \n\
@@ -77,16 +78,7 @@ fn firmware() -> String {
          \x20       push bc\n\
          \x20       push de\n\
          \x20       push hl\n\
-         isr_loop:\n\
-         \x20       ioe ld a, (NICST)\n\
-         \x20       and 2\n\
-         \x20       jr z, isr_done\n\
-         \x20       ld de, {ECHO_BUF:#06x}\n\
-         \x20       call nic_recv\n\
-         \x20       ld hl, {ECHO_BUF:#06x}\n\
-         \x20       call nic_send\n\
-         \x20       jr isr_loop\n\
-         isr_done:\n\
+         {isr_body}\
          \x20       pop hl\n\
          \x20       pop de\n\
          \x20       pop bc\n\

@@ -23,6 +23,43 @@ fn three_handlers_cap_concurrency_at_three() {
     );
 }
 
+/// The same three-connection cap, but on the *guest NIC path*: compiled
+/// C firmware on the simulated board, where the limit is enforced by the
+/// NIC register file's three connection handles rather than by
+/// costatement count. Five clients dial in; the fourth and fifth wait in
+/// the listen backlog until an earlier client hangs up and frees a
+/// handle, and everyone is served eventually.
+#[test]
+fn guest_nic_path_holds_fourth_connection_at_the_register_file() {
+    use rabbit::Engine;
+    use rmc2000::serve::serve_clients;
+
+    let clients: Vec<Vec<Vec<u8>>> = (0..5)
+        .map(|i| vec![vec![0x40 + i as u8; 120 + 10 * i]])
+        .collect();
+    let r = serve_clients(
+        Engine::BlockCache,
+        dcc::Options::all_optimizations(),
+        &clients,
+        None,
+    );
+    for (i, (sent, got)) in clients.iter().zip(&r.transcripts).enumerate() {
+        assert_eq!(&sent.concat(), got, "client {i} served eventually");
+    }
+    assert!(
+        r.peak_open <= 3,
+        "the register file never binds more than three handles, saw {}",
+        r.peak_open
+    );
+    assert!(
+        r.peak_open >= 2,
+        "the offered load did overlap, saw {}",
+        r.peak_open
+    );
+    assert_eq!(r.guest_accepts, 5, "all five connections accepted in turn");
+    assert_eq!(r.guest_open, 0, "teardown freed every handle");
+}
+
 #[test]
 fn recompiling_with_more_costatements_raises_the_cap() {
     use std::sync::atomic::Ordering;
