@@ -144,6 +144,319 @@ pub fn aes128_asm_source_unaligned(nblocks: usize) -> String {
     aes128_asm_source_with(nblocks, false)
 }
 
+/// One inverse-S-box lookup of `Astate+src` into A; D holds the
+/// `Aisbox` page (the module is always built page-aligned).
+fn lookup_inv(src: usize) -> String {
+    format!("        ld a, (Astate+{src})\n        ld e, a\n        ld a, (de)\n")
+}
+
+/// InvShiftRows fused with InvSubBytes, one unrolled pass — the mirror
+/// of [`subshift`], rotating each row the opposite way through the
+/// inverse S-box.
+fn invsubshift() -> String {
+    let mut s = String::from("invsubshift:\n        ld d, hi(Aisbox)\n");
+    // Row 0: no rotation.
+    for c in [0usize, 4, 8, 12] {
+        s.push_str(&lookup_inv(c));
+        s.push_str(&format!("        ld (Astate+{c}), a\n"));
+    }
+    // Row 1: right-rotate by 1 (1 <- 13 <- 9 <- 5 <- 1), substituting.
+    s.push_str(&lookup_inv(1));
+    s.push_str("        ld b, a\n");
+    for (dst, src) in [(1usize, 13usize), (13, 9), (9, 5)] {
+        s.push_str(&lookup_inv(src));
+        s.push_str(&format!("        ld (Astate+{dst}), a\n"));
+    }
+    s.push_str("        ld a, b\n        ld (Astate+5), a\n");
+    // Row 2: swap 2<->10 and 6<->14 (self-inverse), substituting.
+    for (x, y) in [(2usize, 10usize), (6, 14)] {
+        s.push_str(&lookup_inv(x));
+        s.push_str("        ld b, a\n");
+        s.push_str(&lookup_inv(y));
+        s.push_str(&format!("        ld (Astate+{x}), a\n"));
+        s.push_str(&format!("        ld a, b\n        ld (Astate+{y}), a\n"));
+    }
+    // Row 3: left-rotate by 1 (3 <- 7 <- 11 <- 15 <- 3), substituting.
+    s.push_str(&lookup_inv(3));
+    s.push_str("        ld b, a\n");
+    for (dst, src) in [(3usize, 7usize), (7, 11), (11, 15)] {
+        s.push_str(&lookup_inv(src));
+        s.push_str(&format!("        ld (Astate+{dst}), a\n"));
+    }
+    s.push_str("        ld a, b\n        ld (Astate+15), a\n");
+    s.push_str("        ret\n");
+    s
+}
+
+/// AddRoundKey walking *backwards*: state ^= rkeys[IX..IX+16], then IX
+/// retreats by 16 — the inverse cipher consumes round keys last-first.
+fn arkd() -> String {
+    let mut s = String::from("arkd:   ld hl, Astate\n");
+    for i in 0..16 {
+        s.push_str(&format!(
+            "        ld a, (hl)\n        xor (ix+{i})\n        ld (hl), a\n"
+        ));
+        if i != 15 {
+            s.push_str("        inc hl\n");
+        }
+    }
+    s.push_str("        ld de, 0xFFF0\n        add ix, de\n        ret\n");
+    s
+}
+
+/// InvMixColumns, unrolled. Per column: dump v, 2v, 4v, 8v of each byte
+/// into the `AXm` scratch (xtime chains through the `Axt` page), then
+/// each output byte is an 11-term xor —
+/// `14·a_r ^ 11·a_{r+1} ^ 13·a_{r+2} ^ 9·a_{r+3}` decomposed over the
+/// dumped powers.
+fn invmixcols() -> String {
+    let mut s = String::from("invmixcols:\n        ld h, hi(Axt)\n");
+    for col in 0..4 {
+        let base = col * 4;
+        // Dump phase: AXm[r*4 + k] = a_r · 2^k for k = 0..3.
+        for r in 0..4 {
+            s.push_str(&format!("        ld a, (Astate+{})\n", base + r));
+            s.push_str(&format!("        ld (AXm+{}), a\n", r * 4));
+            for k in 1..4 {
+                s.push_str("        ld l, a\n        ld a, (hl)\n");
+                s.push_str(&format!("        ld (AXm+{}), a\n", r * 4 + k));
+            }
+        }
+        // Combine phase (inputs all live in AXm, so stores are safe):
+        // 14·v = 8v^4v^2v, 11·v = 8v^2v^v, 13·v = 8v^4v^v, 9·v = 8v^v.
+        for r in 0..4 {
+            let terms: [(usize, usize); 11] = [
+                (r, 3),
+                (r, 2),
+                (r, 1),
+                ((r + 1) % 4, 3),
+                ((r + 1) % 4, 1),
+                ((r + 1) % 4, 0),
+                ((r + 2) % 4, 3),
+                ((r + 2) % 4, 2),
+                ((r + 2) % 4, 0),
+                ((r + 3) % 4, 3),
+                ((r + 3) % 4, 0),
+            ];
+            for (i, (row, k)) in terms.iter().enumerate() {
+                s.push_str(&format!("        ld a, (AXm+{})\n", row * 4 + k));
+                if i != 0 {
+                    s.push_str("        xor b\n");
+                }
+                if i != terms.len() - 1 {
+                    s.push_str("        ld b, a\n");
+                }
+            }
+            s.push_str(&format!("        ld (Astate+{}), a\n", base + r));
+        }
+    }
+    s.push_str("        ret\n");
+    s
+}
+
+/// Code origin of the linkable module (the compiled C below it must end
+/// before this address — firmware builds assert it).
+pub const LINKED_CODE_ORG: u16 = 0x7300;
+/// First table page of the linkable module (three pages, ending exactly
+/// at the root-data boundary).
+pub const LINKED_TABLES_ORG: u16 = 0x7D00;
+/// Private data origin of the linkable module (root data; compiled C
+/// data must end at or below this).
+pub const LINKED_DATA_ORG: u16 = 0xCE00;
+
+/// Generates the *linkable* AES-128 module: no `main`, no `halt` — three
+/// callable entry points that a `dcc`-compiled firmware declares
+/// `extern` and drives through two C globals:
+///
+/// * `_aes_expand` — copies `char aes_key[16]` into the module and runs
+///   the key schedule (once per key; the schedule is shared by both
+///   directions);
+/// * `_aes_enc` — encrypts `char aes_blk[16]` in place;
+/// * `_aes_dec` — decrypts `char aes_blk[16]` in place (the standard
+///   inverse cipher, consuming the forward round keys last-first).
+///
+/// Layout: code at [`LINKED_CODE_ORG`], page-aligned S-box / xtime /
+/// inverse-S-box tables from [`LINKED_TABLES_ORG`], private workspace at
+/// [`LINKED_DATA_ORG`]. Link with
+/// [`dcc::build_firmware_linked`](../dcc/fn.build_firmware_linked.html).
+///
+/// Interrupt safety: the routines use A, BC, DE, HL, IX and IY. Compiled
+/// C never touches IX/IY and ISR prologues save the rest, so a C
+/// interrupt handler may preempt the module — but must not *call back*
+/// into it.
+pub fn aes128_linked_module() -> String {
+    let sbox = db_table("Asbox", (0..=255u8).map(gf::sbox));
+    let xt = db_table("Axt", (0..=255u8).map(gf::xtime));
+    let isbox_tab = gf::inv_sbox_table();
+    let isbox = db_table("Aisbox", (0..=255u8).map(|i| isbox_tab[i as usize]));
+    let subshift = subshift(true);
+    let ark = ark();
+    let mixcols = mixcols();
+    let invsubshift = invsubshift();
+    let arkd = arkd();
+    let invmixcols = invmixcols();
+
+    // Key schedule g-word lookups (always aligned in the module).
+    let ks_lookup =
+        |off: i32| -> String { format!("        ld e, (iy{off:+})\n        ld a, (de)\n") };
+    let ks0 = ks_lookup(-3);
+    let ks1 = ks_lookup(-2);
+    let ks2 = ks_lookup(-1);
+    let ks3 = ks_lookup(-4);
+    let mut ks_tail = String::new();
+    for j in 4..16 {
+        ks_tail.push_str(&format!(
+            "        ld a, (iy+{prev})\n        xor (ix+{j})\n        ld (iy+{j}), a\n",
+            prev = j - 4,
+        ));
+    }
+
+    format!(
+        "; AES-128 linkable module (hand assembly, fwd + inverse cipher)\n\
+        \x20       org {code_org:#06x}\n\
+         _aes_expand:\n\
+        \x20       ld hl, _aes_key\n\
+        \x20       ld de, Akey\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       jp expand\n\
+         _aes_enc:\n\
+        \x20       ld hl, _aes_blk\n\
+        \x20       ld de, Astate\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       call encrypt\n\
+        \x20       ld hl, Astate\n\
+        \x20       ld de, _aes_blk\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ret\n\
+         _aes_dec:\n\
+        \x20       ld hl, _aes_blk\n\
+        \x20       ld de, Astate\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       call decrypt\n\
+        \x20       ld hl, Astate\n\
+        \x20       ld de, _aes_blk\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ret\n\
+         \n\
+         ; ---- encrypt Astate under Arkeys -------------------------------\n\
+         encrypt:\n\
+        \x20       ld ix, Arkeys\n\
+        \x20       call ark\n\
+        \x20       ld a, 9\n\
+        \x20       ld (Arnd), a\n\
+         eround: call subshift\n\
+        \x20       call mixcols\n\
+        \x20       call ark\n\
+        \x20       ld a, (Arnd)\n\
+        \x20       dec a\n\
+        \x20       ld (Arnd), a\n\
+        \x20       jp nz, eround\n\
+        \x20       call subshift\n\
+        \x20       call ark\n\
+        \x20       ret\n\
+         \n\
+         ; ---- decrypt Astate under Arkeys (keys last-first) -------------\n\
+         decrypt:\n\
+        \x20       ld ix, Arkeys+160\n\
+        \x20       call arkd\n\
+        \x20       ld a, 9\n\
+        \x20       ld (Arnd), a\n\
+         dround: call invsubshift\n\
+        \x20       call arkd\n\
+        \x20       call invmixcols\n\
+        \x20       ld a, (Arnd)\n\
+        \x20       dec a\n\
+        \x20       ld (Arnd), a\n\
+        \x20       jp nz, dround\n\
+        \x20       call invsubshift\n\
+        \x20       call arkd\n\
+        \x20       ret\n\
+         \n\
+         {ark}\
+         \n\
+         {arkd}\
+         \n\
+         {subshift}\
+         \n\
+         {invsubshift}\
+         \n\
+         {mixcols}\
+         \n\
+         {invmixcols}\
+         \n\
+         ; ---- key schedule ----------------------------------------------\n\
+         expand: ld hl, Akey\n\
+        \x20       ld de, Arkeys\n\
+        \x20       ld bc, 16\n\
+        \x20       ldir\n\
+        \x20       ld a, 1\n\
+        \x20       ld (Arcon), a\n\
+        \x20       ld ix, Arkeys\n\
+        \x20       ld iy, Arkeys+16\n\
+        \x20       ld a, 10\n\
+        \x20       ld (Arnd), a\n\
+         exl:\n\
+        \x20       ld d, hi(Asbox)\n\
+         {ks0}\
+        \x20       push af\n\
+        \x20       ld hl, Arcon\n\
+        \x20       pop af\n\
+        \x20       xor (hl)\n\
+        \x20       xor (ix+0)\n\
+        \x20       ld (iy+0), a\n\
+         {ks1}\
+        \x20       xor (ix+1)\n\
+        \x20       ld (iy+1), a\n\
+         {ks2}\
+        \x20       xor (ix+2)\n\
+        \x20       ld (iy+2), a\n\
+         {ks3}\
+        \x20       xor (ix+3)\n\
+        \x20       ld (iy+3), a\n\
+         {ks_tail}\
+        \x20       ld a, (Arcon)\n\
+        \x20       ld l, a\n\
+        \x20       ld h, hi(Axt)\n\
+        \x20       ld a, (hl)\n\
+        \x20       ld (Arcon), a\n\
+        \x20       ld de, 16\n\
+        \x20       add ix, de\n\
+        \x20       add iy, de\n\
+        \x20       ld a, (Arnd)\n\
+        \x20       dec a\n\
+        \x20       ld (Arnd), a\n\
+        \x20       jp nz, exl\n\
+        \x20       ret\n\
+         \n\
+         ; ---- tables (256-byte aligned) ---------------------------------\n\
+        \x20       org {tables_org:#06x}\n\
+         {sbox}\
+        \x20       org {xt_org:#06x}\n\
+         {xt}\
+        \x20       org {isbox_org:#06x}\n\
+         {isbox}\
+         \n\
+         ; ---- private workspace (root data) -----------------------------\n\
+        \x20       org {data_org:#06x}\n\
+         Akey:   ds 16\n\
+         Astate: ds 16\n\
+         Arcon:  db 0\n\
+         Arnd:   db 0\n\
+         AXm:    ds 16\n\
+         Arkeys: ds 176\n",
+        code_org = LINKED_CODE_ORG,
+        tables_org = LINKED_TABLES_ORG,
+        xt_org = LINKED_TABLES_ORG + 0x100,
+        isbox_org = LINKED_TABLES_ORG + 0x200,
+        data_org = LINKED_DATA_ORG,
+    )
+}
+
 fn aes128_asm_source_with(nblocks: usize, aligned: bool) -> String {
     assert!((1..=255).contains(&nblocks), "block count fits a byte");
     let total = nblocks * 16;

@@ -27,7 +27,10 @@ pub mod csource;
 
 use rabbit::{assemble, Cpu, Engine, Memory, NullIo, ProfileReport, SymbolTable};
 
-pub use asm_impl::{aes128_asm_source, aes128_asm_source_unaligned};
+pub use asm_impl::{
+    aes128_asm_source, aes128_asm_source_unaligned, aes128_linked_module, LINKED_CODE_ORG,
+    LINKED_DATA_ORG, LINKED_TABLES_ORG,
+};
 pub use csource::{aes128_c_decrypt_source, aes128_c_source};
 
 /// Which AES implementation to run.
@@ -450,6 +453,99 @@ mod tests {
             penalty > 1.05,
             "losing page alignment must cost real cycles, got {penalty:.3}x"
         );
+    }
+
+    /// Driver C firmware for the linkable module: expand once, then run
+    /// `nblk` blocks of `buf` through `aes_enc` or `aes_dec` in place.
+    const LINKED_DRIVER: &str = "\
+        char aes_key[16];\n\
+        char aes_blk[16];\n\
+        char buf[64];\n\
+        char nblk;\n\
+        char mode;\n\
+        extern void aes_expand();\n\
+        extern void aes_enc();\n\
+        extern void aes_dec();\n\
+        int main() {\n\
+            int b; int i;\n\
+            aes_expand();\n\
+            for (b = 0; b < nblk; b++) {\n\
+                for (i = 0; i < 16; i++) aes_blk[i] = buf[b * 16 + i];\n\
+                if (mode) aes_dec(); else aes_enc();\n\
+                for (i = 0; i < 16; i++) buf[b * 16 + i] = aes_blk[i];\n\
+            }\n\
+            return 0;\n\
+        }\n";
+
+    fn run_linked(key: &[u8; 16], blocks: &[[u8; 16]], mode: u8) -> Vec<[u8; 16]> {
+        assert!(blocks.len() <= 4);
+        let module = aes128_linked_module();
+        let b = dcc::build_firmware_linked(LINKED_DRIVER, dcc::Options::baseline(), &[], &[&module])
+            .expect("links");
+        // No section may overlap another (C code vs module code/tables,
+        // C data vs module workspace).
+        let mut spans: Vec<(u16, usize)> = b
+            .image
+            .sections
+            .iter()
+            .map(|s| (s.addr, s.bytes.len()))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(
+                (w[0].0 as usize) + w[0].1 <= w[1].0 as usize,
+                "sections overlap: {:#06x}+{} vs {:#06x}",
+                w[0].0,
+                w[0].1,
+                w[1].0
+            );
+        }
+        let (mut cpu, mut mem) = b.machine();
+        b.write_bytes(&mut mem, "_aes_key", key);
+        let flat: Vec<u8> = blocks.iter().flatten().copied().collect();
+        b.write_bytes(&mut mem, "_buf", &flat);
+        b.write_bytes(&mut mem, "_nblk", &[blocks.len() as u8]);
+        b.write_bytes(&mut mem, "_mode", &[mode]);
+        b.run_prepared(&mut cpu, &mut mem, 100_000_000).expect("runs");
+        let out = b.read_bytes(&mem, "_buf", blocks.len() * 16);
+        out.chunks(16)
+            .map(|c| <[u8; 16]>::try_from(c).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn linked_module_encrypt_matches_reference() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let block: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let out = run_linked(&key, &[block], 0);
+        assert_eq!(out[0], FIPS_CT, "FIPS-197 C.1 through the linked module");
+
+        let (key, blocks) = testbench_workload(4, 77);
+        let reference = crypto::Rijndael::aes(&key).unwrap();
+        let expect: Vec<[u8; 16]> = blocks
+            .iter()
+            .map(|b| {
+                let mut c = *b;
+                reference.encrypt_block(&mut c);
+                c
+            })
+            .collect();
+        assert_eq!(run_linked(&key, &blocks, 0), expect);
+    }
+
+    #[test]
+    fn linked_module_decrypt_inverts_reference_encrypt() {
+        let (key, blocks) = testbench_workload(4, 78);
+        let reference = crypto::Rijndael::aes(&key).unwrap();
+        let ct: Vec<[u8; 16]> = blocks
+            .iter()
+            .map(|b| {
+                let mut c = *b;
+                reference.encrypt_block(&mut c);
+                c
+            })
+            .collect();
+        assert_eq!(run_linked(&key, &ct, 1), blocks, "decrypt round-trips");
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Layout regression guard for the linkable module: firmware that links
+//! it budgets compiled C code up to `LINKED_CODE_ORG`, so the module
+//! must keep its code inside `[LINKED_CODE_ORG, LINKED_TABLES_ORG)` and
+//! its tables below the root-data boundary.
+
+use aes_rabbit::{aes128_linked_module, LINKED_CODE_ORG, LINKED_DATA_ORG, LINKED_TABLES_ORG};
+
+#[test]
+fn module_fits_its_reserved_windows() {
+    // The module references the two C glue globals; stand them in.
+    let module = format!(
+        "        org 0xCC00\n_aes_key: ds 16\n_aes_blk: ds 16\n{}",
+        aes128_linked_module()
+    );
+    let img = rabbit::assemble(&module).expect("module assembles");
+    for s in img.sections.iter().filter(|s| s.addr != 0xCC00) {
+        let end = usize::from(s.addr) + s.bytes.len();
+        if s.addr >= LINKED_DATA_ORG {
+            assert!(end <= 0xE000, "workspace runs into xmem: end {end:#06x}");
+        } else if s.addr >= LINKED_TABLES_ORG {
+            assert!(
+                end <= usize::from(dcc::layout::ROOT_DATA_ORG),
+                "tables run into root data: end {end:#06x}"
+            );
+        } else {
+            assert!(s.addr >= LINKED_CODE_ORG, "code below its org: {:#06x}", s.addr);
+            assert!(
+                end <= usize::from(LINKED_TABLES_ORG),
+                "module code runs into the tables: end {end:#06x}"
+            );
+        }
+    }
+}

@@ -30,6 +30,7 @@ pub mod host;
 pub mod kdf;
 pub mod log;
 pub mod machine;
+pub mod recmap;
 pub mod record;
 pub mod rmc;
 pub mod serve;

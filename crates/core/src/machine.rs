@@ -27,13 +27,14 @@ use rsa::PublicKey;
 
 use crate::kdf::{derive_session_keys, SessionKeys};
 use crate::record::{Record, RecordError, RecordType, MAX_RECORD};
+use crate::recmap;
 use crate::session::{ClientConfig, ClientKx, IsslError, ServerConfig, ServerKx};
 use crate::wire::{suite_from_bytes, suite_to_bytes, WireError};
 
-pub(crate) const NONCE_LEN: usize = 16;
+pub(crate) const NONCE_LEN: usize = recmap::NONCE_LEN;
 pub(crate) const PREMASTER_LEN: usize = 32;
 /// Payload carried per data record (fits [`MAX_RECORD`] with IV and MAC).
-pub(crate) const FRAGMENT: usize = 1024;
+pub(crate) const FRAGMENT: usize = recmap::FRAGMENT;
 
 /// Which side of the handshake this machine plays.
 enum Role {
@@ -236,7 +237,7 @@ impl SessionMachine {
     ///
     /// [`RecordError::TooLong`] cannot actually occur for the fixed body.
     pub fn close(&mut self) -> Result<(), IsslError> {
-        self.emit_record(RecordType::Alert, b"close")
+        self.emit_record(RecordType::Alert, recmap::ALERT_CLOSE)
     }
 
     // ---- observers ----------------------------------------------------
@@ -488,7 +489,7 @@ impl SessionMachine {
         }
         let offered = suite_from_bytes(&rec.body).ok_or(IsslError::Handshake("bad suite"))?;
         if !config.suites.contains(&offered) {
-            let _ = self.emit_record(RecordType::Alert, b"unsupported suite");
+            let _ = self.emit_record(RecordType::Alert, recmap::ALERT_UNSUPPORTED_SUITE);
             return Err(IsslError::UnsupportedSuite);
         }
         self.client_nonce = rec.body[2..].to_vec();
@@ -553,7 +554,7 @@ impl SessionMachine {
         }
         let keys = self.keys.take().expect("set by on_key_exchange");
         if !verify_hmac_sha1(&keys.client_mac_key, &self.transcript_hash, &rec.body) {
-            let _ = self.emit_record(RecordType::Alert, b"bad finished");
+            let _ = self.emit_record(RecordType::Alert, recmap::ALERT_BAD_FINISHED);
             return Err(IsslError::BadMac);
         }
         let my_mac = hmac_sha1(&keys.server_mac_key, &self.transcript_hash);

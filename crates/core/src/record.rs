@@ -1,6 +1,11 @@
 //! The issl record layer: type-length-value framing over a [`Wire`],
 //! with encrypted records carrying `IV || CBC(payload) || HMAC`.
+//!
+//! The wire constants (type bytes, header layout, size cap) live in
+//! [`crate::recmap`] — shared with the guest C record runtime, which is
+//! generated from the same module.
 
+use crate::recmap;
 use crate::wire::{Wire, WireError};
 
 /// Record content types.
@@ -23,31 +28,30 @@ pub enum RecordType {
 impl RecordType {
     pub(crate) fn to_byte(self) -> u8 {
         match self {
-            RecordType::ClientHello => 1,
-            RecordType::ServerHello => 2,
-            RecordType::KeyExchange => 3,
-            RecordType::Finished => 4,
-            RecordType::Data => 5,
-            RecordType::Alert => 6,
+            RecordType::ClientHello => recmap::REC_CLIENT_HELLO,
+            RecordType::ServerHello => recmap::REC_SERVER_HELLO,
+            RecordType::KeyExchange => recmap::REC_KEY_EXCHANGE,
+            RecordType::Finished => recmap::REC_FINISHED,
+            RecordType::Data => recmap::REC_DATA,
+            RecordType::Alert => recmap::REC_ALERT,
         }
     }
 
     pub(crate) fn from_byte(b: u8) -> Option<RecordType> {
         Some(match b {
-            1 => RecordType::ClientHello,
-            2 => RecordType::ServerHello,
-            3 => RecordType::KeyExchange,
-            4 => RecordType::Finished,
-            5 => RecordType::Data,
-            6 => RecordType::Alert,
+            recmap::REC_CLIENT_HELLO => RecordType::ClientHello,
+            recmap::REC_SERVER_HELLO => RecordType::ServerHello,
+            recmap::REC_KEY_EXCHANGE => RecordType::KeyExchange,
+            recmap::REC_FINISHED => RecordType::Finished,
+            recmap::REC_DATA => RecordType::Data,
+            recmap::REC_ALERT => RecordType::Alert,
             _ => return None,
         })
     }
 }
 
-/// Largest record body accepted. The embedded profile statically
-/// allocates buffers of exactly this size (§5.2: no `malloc`).
-pub const MAX_RECORD: usize = 2048;
+/// Largest record body accepted (see [`crate::recmap::MAX_RECORD`]).
+pub const MAX_RECORD: usize = recmap::MAX_RECORD;
 
 /// Record-layer errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

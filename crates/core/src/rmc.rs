@@ -30,8 +30,9 @@ use crate::log::{CircularLog, Log};
 use crate::session::{CipherSuite, ServerConfig, ServerKx, Session};
 use crate::wire::{Wire, WireError};
 
-/// Fixed record buffer per handler, allocated once from the arena.
-pub const HANDLER_BUFFER: usize = 2048;
+/// Fixed record buffer per handler, allocated once from the arena —
+/// exactly one maximum-size record ([`crate::recmap::MAX_RECORD`]).
+pub const HANDLER_BUFFER: usize = crate::recmap::MAX_RECORD;
 
 /// Counters published by the running port.
 #[derive(Debug, Default)]

@@ -153,12 +153,21 @@ pub struct Program {
     pub globals: Vec<VarDecl>,
     /// Functions; execution starts at `main`.
     pub functions: Vec<Function>,
+    /// `extern void name();` declarations: routines supplied by a linked
+    /// assembly module (label `_name`), callable with zero arguments.
+    /// Data passes through globals the assembly references by symbol.
+    pub externs: Vec<String>,
 }
 
 impl Program {
     /// Finds a function by name.
     pub fn function(&self, name: &str) -> Option<&Function> {
         self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Whether `name` is declared `extern` (assembly-linked).
+    pub fn is_extern(&self, name: &str) -> bool {
+        self.externs.iter().any(|e| e == name)
     }
 
     /// Finds a global by name.

@@ -894,6 +894,18 @@ impl Codegen<'_> {
                 if BUILTINS.contains(&name.as_str()) {
                     return self.builtin(f, name, args);
                 }
+                if self.prog.is_extern(name) && self.prog.function(name).is_none() {
+                    // Assembly-linked routine: no parameter slots exist in
+                    // this translation unit, so the call carries no
+                    // arguments — data travels through named globals.
+                    if !args.is_empty() {
+                        return Err(self.err(format!(
+                            "extern routine `{name}` takes no arguments (pass data via globals)"
+                        )));
+                    }
+                    self.emit(format!("call {}", gsym(name)));
+                    return Ok(());
+                }
                 let callee = self
                     .prog
                     .function(name)

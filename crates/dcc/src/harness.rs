@@ -96,6 +96,38 @@ pub fn build_firmware(
     Ok(Build { asm, image, opts })
 }
 
+/// As [`build_firmware`], but links hand-written assembly `modules` into
+/// the same image: each module's text is appended to the compiled output
+/// before assembly, so all symbols share one namespace — the assembly can
+/// reference C globals (`_name`) and the C side can call assembly entry
+/// points declared `extern void entry();`.
+///
+/// Modules place their own `org` directives; the caller is responsible
+/// for choosing origins that do not collide with the compiled C (check
+/// [`Build::code_size`] / the image sections in tests).
+///
+/// # Errors
+///
+/// [`HarnessError::Compile`] or [`HarnessError::Assemble`] (an undefined
+/// `extern` surfaces here as an unknown label).
+pub fn build_firmware_linked(
+    source: &str,
+    opts: Options,
+    vectors: &[(u16, &str)],
+    modules: &[&str],
+) -> Result<Build, HarnessError> {
+    let mut asm = compile_firmware(source, opts, vectors)?;
+    for m in modules {
+        asm.push_str("\n; ---- linked assembly module ----\n");
+        asm.push_str(m);
+        if !m.ends_with('\n') {
+            asm.push('\n');
+        }
+    }
+    let image = assemble(&asm).map_err(|e| HarnessError::Assemble(e.to_string()))?;
+    Ok(Build { asm, image, opts })
+}
+
 impl Build {
     /// Code bytes (sections below the data origins) — the paper's code
     /// size metric.
@@ -373,6 +405,38 @@ mod tests {
             rr.cycles,
             xr.cycles
         );
+    }
+
+    #[test]
+    fn extern_routine_links_against_assembly_module() {
+        // The C side declares `extern void bump();`, data travels through
+        // the global `v`; the assembly module supplies `_bump`.
+        let src = "char v;\n\
+                   extern void bump();\n\
+                   int main() { v = 7; bump(); bump(); return v; }";
+        let module = "        org 0x6000\n\
+                      _bump:\n\
+                      \x20       ld a, (_v)\n\
+                      \x20       add a, 5\n\
+                      \x20       ld (_v), a\n\
+                      \x20       ret\n";
+        let b = build_firmware_linked(src, Options::baseline(), &[], &[module]).expect("links");
+        let r = b.run(100_000_000).expect("runs");
+        assert_eq!(r.result, 17);
+    }
+
+    #[test]
+    fn extern_call_with_arguments_is_rejected() {
+        let src = "extern void f();\nint main() { f(1); return 0; }";
+        let err = build(src, Options::baseline()).unwrap_err();
+        assert!(matches!(err, HarnessError::Compile(_)), "{err}");
+    }
+
+    #[test]
+    fn undefined_extern_fails_at_link_time() {
+        let src = "extern void ghost();\nint main() { ghost(); return 0; }";
+        let err = build_firmware_linked(src, Options::baseline(), &[], &[]).unwrap_err();
+        assert!(matches!(err, HarnessError::Assemble(_)), "{err}");
     }
 
     #[test]

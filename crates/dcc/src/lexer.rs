@@ -51,6 +51,9 @@ pub enum Kw {
     /// Dynamic C's `interrupt` qualifier: the function is an interrupt
     /// service routine (register save/restore prologue, `reti` return).
     Interrupt,
+    /// `extern`: declares a routine defined in a linked assembly module
+    /// (callable, zero arguments, no body in this translation unit).
+    Extern,
 }
 
 impl fmt::Display for Tok {
@@ -100,6 +103,7 @@ fn keyword(s: &str) -> Option<Kw> {
         "auto" => Kw::Auto,
         "const" => Kw::Const,
         "interrupt" => Kw::Interrupt,
+        "extern" => Kw::Extern,
         _ => return None,
     })
 }

@@ -37,7 +37,7 @@ pub mod parser;
 pub mod peephole;
 
 pub use codegen::{compile, compile_firmware, layout, Options, BUILTINS};
-pub use harness::{build, build_firmware, Build, HarnessError, RunResult};
+pub use harness::{build, build_firmware, build_firmware_linked, Build, HarnessError, RunResult};
 pub use interp::Interp;
 pub use lexer::CompileError;
 pub use parser::parse;

@@ -169,6 +169,21 @@ impl Parser {
     fn program(&mut self) -> Result<Program, CompileError> {
         let mut prog = Program::default();
         while !matches!(self.peek(), Tok::Eof) {
+            if self.eat_kw(Kw::Extern) {
+                // `extern void name();` — an assembly-linked routine.
+                if !self.eat_kw(Kw::Void) {
+                    return Err(self.err("extern routine must be declared void"));
+                }
+                let name = self.ident()?;
+                self.expect_punct("(")?;
+                let _ = self.eat_kw(Kw::Void);
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                if !prog.externs.contains(&name) {
+                    prog.externs.push(name);
+                }
+                continue;
+            }
             let isr = self.eat_kw(Kw::Interrupt);
             let Some((ty, place)) = self.try_type()? else {
                 return Err(self.err(format!(

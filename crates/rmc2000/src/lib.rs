@@ -33,11 +33,16 @@ pub mod board;
 pub mod echo;
 pub mod firmware;
 pub mod nic;
+pub mod secure;
 pub mod serial;
 pub mod serve;
 
 pub use board::{Board, BoardCounters, Rtc, RunOutcome};
 pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
+pub use secure::{
+    build_secure_firmware, secure_serve, ClientOutcome, ConnCounters, GuestClient, SecureRun,
+    Tamper, SECURE_PORT,
+};
 pub use serial::{SerialPort, SERIAL_A_VECTOR};
 pub use serve::{serve_clients, ServeRun, SERVE_PORT};
 

@@ -1,0 +1,139 @@
+//! Negative-path tests for the on-guest secure channel: wrong
+//! credentials, tampered MACs, truncated records, and handcrafted
+//! bad hellos must each end in a deterministic guest alert and an
+//! orderly connection close — byte-identical on both engines.
+
+use issl::recmap;
+use rabbit::Engine;
+use rmc2000::{secure_serve, GuestClient, SecureRun, Tamper};
+
+const PSK: &[u8] = b"rmc2000 shared secret";
+
+/// The wire form of a guest alert record carrying `body`.
+fn alert_rec(body: &[u8]) -> Vec<u8> {
+    let mut rec = vec![recmap::REC_ALERT];
+    rec.extend_from_slice(&(body.len() as u16).to_be_bytes());
+    rec.extend_from_slice(body);
+    rec
+}
+
+/// Runs the workload under both engines, asserts every observable is
+/// byte-identical, and returns the interpreter run for inspection.
+fn run_both(clients: &[GuestClient]) -> SecureRun {
+    let opts = dcc::Options::all_optimizations();
+    let a = secure_serve(Engine::Interpreter, opts, PSK, clients, None, false);
+    let b = secure_serve(Engine::BlockCache, opts, PSK, clients, None, false);
+    assert_eq!(a.outcomes, b.outcomes, "client outcomes agree");
+    assert_eq!(a.conns, b.conns, "guest counters agree");
+    assert_eq!(a.accepts, b.accepts, "accepts agree");
+    assert_eq!(a.open, b.open, "open handles agree");
+    assert_eq!(a.cycles, b.cycles, "cycle counts agree");
+    assert_eq!(a.instructions, b.instructions, "instruction counts agree");
+    assert_eq!(a.virtual_us, b.virtual_us, "virtual time agrees");
+    assert_eq!(a.serial_tx, b.serial_tx, "serial output agrees");
+    assert_eq!(a.snapshot, b.snapshot, "telemetry snapshots agree");
+    a
+}
+
+/// Three misbehaving clients on the three NIC handles at once: a wrong
+/// pre-shared key, a flipped data-record MAC, and a record truncated
+/// after its header. Each draws its own alert; none corrupts the others.
+#[test]
+fn wrong_psk_tampered_mac_and_truncation_each_draw_an_alert() {
+    let run = run_both(&[
+        GuestClient::Secure {
+            messages: vec![],
+            psk: b"not the shared secret".to_vec(),
+            tamper: Tamper::None,
+        },
+        GuestClient::Secure {
+            messages: vec![b"flip my mac".to_vec()],
+            psk: PSK.to_vec(),
+            tamper: Tamper::FlipDataMac,
+        },
+        GuestClient::Secure {
+            messages: vec![],
+            psk: PSK.to_vec(),
+            tamper: Tamper::TruncateAfterHeader,
+        },
+    ]);
+
+    // Client 0: the guest rejects the Finished MAC computed from the
+    // wrong key, so the handshake never completes and the client machine
+    // surfaces the alert as a handshake failure.
+    let c0 = &run.outcomes[0];
+    assert!(!c0.established, "wrong PSK never establishes");
+    assert_eq!(c0.error.as_deref(), Some("PeerAlert"));
+    assert!(c0.echoed.is_empty());
+    assert!(
+        c0.raw_rx.ends_with(&alert_rec(recmap::ALERT_BAD_FINISHED)),
+        "stream ends with the bad-finished alert: {:?}",
+        c0.raw_rx
+    );
+
+    // Client 1: establishes, then its first data record fails the MAC
+    // check. In the established state the alert reads as a peer close,
+    // not a client error.
+    let c1 = &run.outcomes[1];
+    assert!(c1.established, "correct PSK establishes");
+    assert!(c1.peer_closed, "guest alert closes the channel");
+    assert_eq!(c1.error, None);
+    assert!(c1.echoed.is_empty(), "tampered record is never echoed");
+    assert!(
+        c1.raw_rx.ends_with(&alert_rec(recmap::ALERT_CLOSE)),
+        "stream ends with the close alert: {:?}",
+        c1.raw_rx
+    );
+
+    // Client 2: the guest sees EOF with half a record buffered and
+    // treats the truncation as fatal.
+    let c2 = &run.outcomes[2];
+    assert!(c2.established);
+    assert!(
+        c2.raw_rx.ends_with(&alert_rec(recmap::ALERT_CLOSE)),
+        "truncated record draws the close alert: {:?}",
+        c2.raw_rx
+    );
+
+    // Guest-side books: two completed handshakes (clients 1 and 2), one
+    // alert per client, no data record ever accepted or produced.
+    let handshakes: u16 = run.conns.iter().map(|c| c.handshakes).sum();
+    let alerts: u16 = run.conns.iter().map(|c| c.alerts).sum();
+    let records_in: u16 = run.conns.iter().map(|c| c.records_in).sum();
+    let records_out: u16 = run.conns.iter().map(|c| c.records_out).sum();
+    assert_eq!(handshakes, 2);
+    assert_eq!(alerts, 3);
+    assert_eq!(records_in, 0);
+    assert_eq!(records_out, 0);
+    assert_eq!(run.accepts, 3);
+    assert_eq!(run.open, 0, "all handles freed after teardown");
+}
+
+/// A handcrafted ClientHello advertising a suite geometry the guest
+/// does not serve. The server must refuse before revealing anything:
+/// the only bytes on the wire are the unsupported-suite alert.
+#[test]
+fn handcrafted_unsupported_suite_hello_is_refused() {
+    let mut hello = vec![
+        recmap::REC_CLIENT_HELLO,
+        0,
+        recmap::CLIENT_HELLO_LEN as u8,
+        8, // key length the guest does not serve
+        4,
+    ];
+    hello.extend((0..recmap::NONCE_LEN).map(|i| i as u8));
+
+    let run = run_both(&[GuestClient::Raw { payload: hello }]);
+
+    let c0 = &run.outcomes[0];
+    assert!(c0.established, "TCP connection itself comes up");
+    assert_eq!(
+        c0.raw_rx,
+        alert_rec(recmap::ALERT_UNSUPPORTED_SUITE),
+        "alert is the only reply — no ServerHello leaks first"
+    );
+    assert_eq!(run.conns[0].handshakes, 0);
+    assert_eq!(run.conns[0].alerts, 1);
+    assert_eq!(run.accepts, 1);
+    assert_eq!(run.open, 0);
+}
