@@ -1,0 +1,190 @@
+//! Hand-rolled JSON emission for the `BENCH_*.json` artifacts.
+//!
+//! The workspace deliberately carries no serde; every benchmark example
+//! used to roll its own string concatenation instead. This module is
+//! the one shared emitter: a tiny value tree ([`Json`]) with a builder
+//! API, rendered pretty-printed with two-space indents and a trailing
+//! newline — exactly what the checked-in `BENCH_*.json` files hold.
+//!
+//! Floats carry an explicit decimal count so the output is stable
+//! digit-for-digit across runs and platforms.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (cycle counts, byte counts, ...).
+    U64(u64),
+    /// A float printed with exactly `decimals` fractional digits.
+    F64 {
+        /// The value.
+        value: f64,
+        /// Fractional digits to print.
+        decimals: usize,
+    },
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Json>),
+    /// An object; fields render in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object to chain [`Json::field`] onto.
+    #[must_use]
+    pub fn obj() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// A float rendered with `decimals` fractional digits.
+    #[must_use]
+    pub fn f64(value: f64, decimals: usize) -> Json {
+        Json::F64 { value, decimals }
+    }
+
+    /// Appends a field to an object.
+    ///
+    /// # Panics
+    ///
+    /// If `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on a non-object: {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the tree pretty-printed with a trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, s: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => s.push_str(&v.to_string()),
+            Json::F64 { value, decimals } => {
+                s.push_str(&format!("{value:.decimals$}"));
+            }
+            Json::Str(v) => {
+                s.push('"');
+                for c in v.chars() {
+                    match c {
+                        '"' => s.push_str("\\\""),
+                        '\\' => s.push_str("\\\\"),
+                        '\n' => s.push_str("\\n"),
+                        c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => s.push(c),
+                    }
+                }
+                s.push('"');
+            }
+            Json::Array(items) => {
+                if items.is_empty() {
+                    s.push_str("[]");
+                    return;
+                }
+                s.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    s.push_str(&"  ".repeat(indent + 1));
+                    item.write(s, indent + 1);
+                    s.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                s.push_str(&"  ".repeat(indent));
+                s.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    s.push_str("{}");
+                    return;
+                }
+                s.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    s.push_str(&"  ".repeat(indent + 1));
+                    s.push('"');
+                    s.push_str(k);
+                    s.push_str("\": ");
+                    v.write(s, indent + 1);
+                    s.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                s.push_str(&"  ".repeat(indent));
+                s.push('}');
+            }
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<u16> for Json {
+    fn from(v: u16) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_tree_deterministically() {
+        let doc = Json::obj()
+            .field("experiment", "E0")
+            .field("count", 3usize)
+            .field("ratio", Json::f64(1.0 / 3.0, 2))
+            .field("ok", true)
+            .field(
+                "rows",
+                vec![
+                    Json::obj().field("name", "a\"b"),
+                    Json::obj().field("empty", Json::Array(Vec::new())),
+                ],
+            );
+        assert_eq!(
+            doc.render(),
+            "{\n  \"experiment\": \"E0\",\n  \"count\": 3,\n  \"ratio\": 0.33,\n  \"ok\": true,\n  \"rows\": [\n    {\n      \"name\": \"a\\\"b\"\n    },\n    {\n      \"empty\": []\n    }\n  ]\n}\n"
+        );
+    }
+}

@@ -2,16 +2,26 @@
 //! [`World`].
 //!
 //! Device models outside this crate (the `rmc2000` NIC) need to *be* a
-//! host on the simulated network: advance virtual time in lockstep with
-//! their own clock, accept connections, and move bytes — all through one
-//! owned handle while the test harness keeps a second handle on the same
-//! world for the remote peers. [`SimHost`] packages an
+//! host on the simulated network: accept connections and move bytes — all
+//! through one owned handle while the test harness keeps a second handle
+//! on the same world for the remote peers. [`SimHost`] packages an
 //! `Rc<RefCell<World>>` plus a [`HostId`] behind a borrow-free API so a
 //! peripheral can hold it without naming the interior mutability.
 //!
 //! Everything here forwards to the [`World`] socket API; determinism is
-//! inherited ([`World::run_for`] is granularity-independent, so a device
-//! may advance time in whatever increments its clock produces).
+//! inherited ([`World::run_for`] is granularity-independent, so time may
+//! advance in whatever increments the clock owner produces).
+//!
+//! # Time ownership
+//!
+//! A `SimHost` *can* advance the shared clock ([`SimHost::advance`]), but
+//! whether it *may* is a contract decided by whoever assembles the world:
+//! exactly one party owns time. A solo board following the legacy
+//! one-board contract drives the clock through its NIC; in a multi-board
+//! fleet the `rmc2000::fleet` scheduler owns the clock exclusively and
+//! every attached host is a passive participant that only reads `now` and
+//! moves bytes (see the fleet module's docs for why the NIC-driven
+//! contract cannot scale past one board).
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -128,10 +138,20 @@ impl SimHost {
         self.world.borrow_mut().tcp_recv(id, buf)
     }
 
+    /// Room left in `id`'s send buffer, in bytes.
+    pub fn send_room(&self, id: SocketId) -> usize {
+        self.world.borrow().tcp_send_room(id)
+    }
+
     /// Orderly close of `id` (errors ignored — the handle may already be
     /// closed).
     pub fn close(&mut self, id: SocketId) {
         let _ = self.world.borrow_mut().tcp_close(id);
+    }
+
+    /// Abortive close of `id` (RST; nothing further is delivered).
+    pub fn abort(&mut self, id: SocketId) {
+        self.world.borrow_mut().tcp_abort(id);
     }
 }
 

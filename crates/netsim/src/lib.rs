@@ -37,12 +37,14 @@
 
 pub mod addr;
 pub mod attach;
+pub mod lb;
 pub mod packet;
 pub mod tcp;
 pub mod world;
 
 pub use addr::{htonl, htons, ntohl, ntohs, Endpoint, Ipv4};
 pub use attach::SimHost;
+pub use lb::{BackendStats, LbCounters, LbPolicy, LoadBalancer, CONNECT_TIMEOUT_US};
 pub use packet::{IcmpEcho, Packet, TcpFlags, TcpSegment, Transport, UdpDatagram};
 pub use tcp::{HostId, SocketId, TcpState, MSS, RECV_WINDOW, SEND_BUFFER};
 pub use world::{LinkParams, NetError, Recv, SocketEvent, Stats, TraceEntry, UdpId, World};

@@ -1,0 +1,697 @@
+//! Fleet scheduler: N boards, one deterministic world, one clock owner.
+//!
+//! The one-board drivers let the board's NIC backend drag the shared
+//! [`World`] clock forward ([`crate::nic::ClockMode::Follow`]): whenever
+//! the board's local cycle count crossed a poll boundary, the backend
+//! called `run_for` on the world. That contract cannot scale past one
+//! board — with two boards each dragging the clock, whoever polls first
+//! advances time under the other's feet, and every observable becomes a
+//! function of host-side iteration order. This module lifts time
+//! ownership out of the NIC: the [`Fleet`] scheduler is the only party
+//! that advances the world, and every board's backend is a passive
+//! participant ([`crate::nic::ClockMode::Passive`]) that just reads
+//! `now` and moves bytes.
+//!
+//! # The epoch barrier
+//!
+//! Boards advance in lockstep epochs of [`EPOCH_US`] microseconds
+//! (= one NIC poll period, [`EPOCH_CYCLES`] cycles). One epoch ending at
+//! virtual time `T`:
+//!
+//! 1. the world runs `(T-50, T]` first — every in-flight segment due in
+//!    the window is delivered before any board looks;
+//! 2. each board then executes its own `(T-50, T]` cycle slice; its NIC
+//!    poll at the epoch boundary observes the world at exactly `T`.
+//!
+//! Within an epoch the boards touch disjoint state (their own sockets,
+//! their own memories), and every send a board performs is stamped at
+//! the same world time `T`, so the order boards are visited in is
+//! unobservable: shuffling the per-epoch visit order changes no
+//! transcript, counter, or cycle count. Poll boundaries depend only on
+//! accumulated cycle totals, so both CPU engines see identical crossings
+//! and the whole schedule is engine-invariant.
+//!
+//! # Idle fast-forward
+//!
+//! When every board is parked (halted, no dispatchable interrupt) the
+//! scheduler skips ahead whole epochs at once, bounded by the world's
+//! next scheduled event and every board's device deadline
+//! ([`rabbit::Bus::next_deadline`], the E12 event-horizon hook) — the
+//! fleet-level analogue of [`crate::Board::idle`]'s batched halted time.
+//! The skip decision is a function of barrier state only, so it too is
+//! visit-order- and engine-invariant.
+//!
+//! # Solo mode
+//!
+//! The legacy one-board drivers ([`crate::serve::serve_clients`],
+//! [`crate::secure::secure_serve`]) run on the same scheduler in solo
+//! mode: one Follow-mode board, pumped with the exact legacy
+//! run/probe/idle sequence. A one-board fleet is byte-identical to the
+//! pre-fleet drivers by construction.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rabbit::nicmap::MAX_CONNS;
+use rabbit::{Engine, IoSpace};
+
+use netsim::{Endpoint, Ipv4, LinkParams, LoadBalancer, SimHost, SocketId, World};
+
+pub use netsim::{BackendStats, LbPolicy};
+
+use crate::board::{Board, RunOutcome};
+use crate::nic::{Nic, CYCLES_PER_US, POLL_PERIOD_US};
+use crate::secure::{
+    build_secure_firmware, client_states, step_client, ClientOutcome, ConnCounters, GuestClient,
+    SECURE_PORT,
+};
+use crate::serve::{build_serve_firmware, SERIAL_PROBE, SERVE_PORT};
+
+/// One scheduling epoch in microseconds — exactly one NIC poll period,
+/// so every board's boundary poll lands on the barrier.
+pub const EPOCH_US: u64 = POLL_PERIOD_US;
+
+/// One scheduling epoch in CPU cycles.
+pub const EPOCH_CYCLES: u64 = EPOCH_US * CYCLES_PER_US;
+
+struct Slot {
+    board: Board,
+    host: SimHost,
+    /// Absolute cycle target at the current epoch's end. Instruction
+    /// overshoot (a board cannot stop mid-instruction) carries forward:
+    /// the next epoch's slice is that much shorter.
+    target: u64,
+}
+
+/// A set of boards sharing one [`World`], advanced in deterministic
+/// lockstep by the single clock owner.
+pub struct Fleet {
+    world: Rc<RefCell<World>>,
+    slots: Vec<Slot>,
+    solo: bool,
+    epochs: u64,
+}
+
+impl Fleet {
+    /// An empty fleet over `world`.
+    pub fn new(world: &Rc<RefCell<World>>) -> Fleet {
+        Fleet {
+            world: Rc::clone(world),
+            slots: Vec::new(),
+            solo: false,
+            epochs: 0,
+        }
+    }
+
+    /// The shared world (cloned handle).
+    pub fn world(&self) -> Rc<RefCell<World>> {
+        Rc::clone(&self.world)
+    }
+
+    /// Number of boards in the fleet.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the fleet has no boards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Epochs completed so far (fast-forwarded epochs included).
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Adds the single board of a legacy solo fleet: its NIC follows the
+    /// legacy clock contract (the backend drags the world) and its
+    /// telemetry registers under the unprefixed single-board names.
+    ///
+    /// # Panics
+    ///
+    /// If the fleet already has a board — solo means exactly one.
+    pub fn add_solo_board(&mut self, engine: Engine, name: &str, ip: Ipv4) -> usize {
+        assert!(self.slots.is_empty(), "solo fleet holds exactly one board");
+        self.solo = true;
+        let host = SimHost::attach(&self.world, name, ip);
+        let mut board = Board::with_engine(engine);
+        board.bind_telemetry(self.world.borrow().telemetry());
+        board.attach_nic(Nic::simulated(host.clone()));
+        self.slots.push(Slot {
+            board,
+            host,
+            target: 0,
+        });
+        0
+    }
+
+    /// Adds board `len()` to an epoch-scheduled fleet: a passive NIC
+    /// backend (only this scheduler advances the clock) and telemetry
+    /// namespaced under `board<idx>.`.
+    ///
+    /// # Panics
+    ///
+    /// If the fleet was opened in solo mode.
+    pub fn add_board(&mut self, engine: Engine, name: &str, ip: Ipv4) -> usize {
+        assert!(!self.solo, "solo fleet holds exactly one board");
+        let idx = self.slots.len();
+        let host = SimHost::attach(&self.world, name, ip);
+        let mut board = Board::with_engine(engine);
+        board.bind_telemetry_board(self.world.borrow().telemetry(), idx);
+        board.attach_nic(Nic::fleet_attached(host.clone(), idx));
+        self.slots.push(Slot {
+            board,
+            host,
+            target: 0,
+        });
+        idx
+    }
+
+    /// Board `i`.
+    pub fn board(&self, i: usize) -> &Board {
+        &self.slots[i].board
+    }
+
+    /// Board `i`, mutably.
+    pub fn board_mut(&mut self, i: usize) -> &mut Board {
+        &mut self.slots[i].board
+    }
+
+    /// Board `i`'s network host handle.
+    pub fn host(&self, i: usize) -> &SimHost {
+        &self.slots[i].host
+    }
+
+    /// Board `i`'s IP address.
+    pub fn ip(&self, i: usize) -> Ipv4 {
+        self.slots[i].host.ip()
+    }
+
+    /// Whether board `i` is parked: halted with no dispatchable
+    /// interrupt, i.e. nothing to do until a peripheral deadline.
+    pub fn parked(&mut self, i: usize) -> bool {
+        let s = &mut self.slots[i];
+        s.board.cpu.halted && s.board.bus.pending_interrupt().is_none()
+    }
+
+    /// Whether every board is parked.
+    pub fn all_parked(&mut self) -> bool {
+        (0..self.slots.len()).all(|i| self.parked(i))
+    }
+
+    /// One legacy solo pump: run up to `run_chunk` cycles; on halt,
+    /// offer the host a hook (console probes) and burn `idle_chunk`
+    /// halted cycles. Byte-identical to the pre-fleet driver loops.
+    ///
+    /// # Panics
+    ///
+    /// If the firmware stops for any reason other than halting.
+    pub fn solo_pump(&mut self, run_chunk: u64, idle_chunk: u64, on_halt: impl FnOnce(&mut Board)) {
+        assert!(self.solo, "solo_pump drives a solo fleet");
+        let board = &mut self.slots[0].board;
+        match board.run(run_chunk) {
+            RunOutcome::Halted => {
+                on_halt(board);
+                board.idle(idle_chunk);
+            }
+            RunOutcome::BudgetExhausted => {}
+            other => panic!("firmware stopped: {other:?}"),
+        }
+    }
+
+    /// One legacy solo teardown step: run, and idle if halted. Unlike
+    /// [`Fleet::solo_pump`] a non-halt stop is ignored, matching the
+    /// pre-fleet teardown loops.
+    pub fn solo_settle(&mut self, run_chunk: u64, idle_chunk: u64) {
+        assert!(self.solo, "solo_settle drives a solo fleet");
+        let board = &mut self.slots[0].board;
+        if board.run(run_chunk) == RunOutcome::Halted {
+            board.idle(idle_chunk);
+        }
+    }
+
+    /// Runs one epoch: the world first reaches the epoch's end, then
+    /// every board — visited in `order` — executes its cycle slice up to
+    /// the barrier. `order` must name each board exactly once; any
+    /// permutation yields identical observables (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// If called on a solo fleet, or a board's firmware stops for any
+    /// reason other than halting.
+    pub fn run_epoch(&mut self, order: &[usize]) {
+        assert!(!self.solo, "the epoch scheduler drives multi-board fleets");
+        debug_assert_eq!(
+            {
+                let mut o = order.to_vec();
+                o.sort_unstable();
+                o
+            },
+            (0..self.slots.len()).collect::<Vec<_>>(),
+            "order visits every board exactly once"
+        );
+        self.world.borrow_mut().run_for(EPOCH_US);
+        for &i in order {
+            self.advance_slot(i);
+        }
+        self.epochs += 1;
+    }
+
+    /// Brings board `i` up to its epoch-end cycle target, mixing
+    /// execution and batched halted time.
+    fn advance_slot(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.target += EPOCH_CYCLES;
+        while slot.board.cpu.cycles < slot.target {
+            let left = slot.target - slot.board.cpu.cycles;
+            match slot.board.run(left) {
+                RunOutcome::Halted => {
+                    // `run` returns Halted without consuming the budget
+                    // when the CPU is already parked; burn the remainder
+                    // as batched halted time.
+                    let left = slot.target.saturating_sub(slot.board.cpu.cycles);
+                    if left > 0 {
+                        slot.board.idle(left);
+                    }
+                }
+                RunOutcome::BudgetExhausted => {}
+                other => panic!("board {i} firmware stopped: {other:?}"),
+            }
+        }
+    }
+
+    /// Skips up to `max_epochs` whole epochs of fleet-wide idleness in
+    /// one batch. Applies only when every board is parked, and is
+    /// bounded by the world's next scheduled event and every board's
+    /// soonest device deadline, so nothing observable lands inside the
+    /// skipped window. Returns the number of epochs skipped.
+    pub fn fast_forward(&mut self, max_epochs: u64) -> u64 {
+        assert!(!self.solo, "the epoch scheduler drives multi-board fleets");
+        if max_epochs == 0 || self.slots.is_empty() || !self.all_parked() {
+            return 0;
+        }
+        let mut k = max_epochs;
+        {
+            let w = self.world.borrow();
+            if let Some(t) = w.next_event_time() {
+                let now = w.now();
+                if t <= now {
+                    return 0;
+                }
+                // The event's own epoch runs normally: skip strictly
+                // short of the boundary it lands on.
+                k = k.min((t - now - 1) / EPOCH_US);
+            }
+        }
+        for s in &mut self.slots {
+            if let Some(d) = s.board.bus.next_deadline() {
+                k = k.min(d / EPOCH_CYCLES);
+            }
+        }
+        if k == 0 {
+            return 0;
+        }
+        self.world.borrow_mut().run_for(k * EPOCH_US);
+        for s in &mut self.slots {
+            s.target += k * EPOCH_CYCLES;
+            let left = s.target.saturating_sub(s.board.cpu.cycles);
+            if left > 0 {
+                s.board.idle(left);
+            }
+        }
+        self.epochs += k;
+        k
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Balanced fleet serving driver
+// ---------------------------------------------------------------------------
+
+/// Which guest firmware every board of a [`fleet_serve`] run boots.
+#[derive(Debug, Clone)]
+pub enum FleetFirmware {
+    /// The plaintext echo server ([`crate::serve::echo_server_c`]).
+    PlainEcho,
+    /// The secure server with `psk` poked into its C globals; it serves
+    /// plain echo on the same port via first-byte sniffing.
+    SecureEcho { psk: Vec<u8> },
+}
+
+/// Workload description for one [`fleet_serve`] run.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// CPU engine every board runs on.
+    pub engine: Engine,
+    /// Compiler options for the shared firmware build.
+    pub opts: dcc::Options,
+    /// Number of boards behind the balancer.
+    pub boards: usize,
+    /// How the balancer routes new connections.
+    pub policy: LbPolicy,
+    /// Firmware flavour (one build, loaded into every board).
+    pub firmware: FleetFirmware,
+    /// Host-side clients, all dialing the balancer's front port.
+    pub clients: Vec<GuestClient>,
+    /// Inject a console probe into every parked board each `gap`
+    /// microseconds of virtual time (per-board schedule).
+    pub probe_gap_us: Option<u64>,
+    /// Board indices whose balancer link drops every packet — the
+    /// dead-backend case the balancer must route around.
+    pub dead_links: Vec<usize>,
+    /// Per-epoch board visit orders, cycled; empty means index order.
+    /// Any sequence of permutations yields identical observables.
+    pub orders: Vec<Vec<usize>>,
+}
+
+impl FleetSpec {
+    /// A spec with the common defaults: round-robin, secure firmware,
+    /// no probes, no dead links, index visit order.
+    #[must_use]
+    pub fn new(engine: Engine, boards: usize, psk: &[u8], clients: Vec<GuestClient>) -> FleetSpec {
+        FleetSpec {
+            engine,
+            opts: dcc::Options::all_optimizations(),
+            boards,
+            policy: LbPolicy::RoundRobin,
+            firmware: FleetFirmware::SecureEcho { psk: psk.to_vec() },
+            clients,
+            probe_gap_us: None,
+            dead_links: Vec::new(),
+            orders: Vec::new(),
+        }
+    }
+}
+
+/// What one board did over a [`fleet_serve`] run.
+#[derive(Debug, Clone)]
+pub struct BoardReport {
+    /// Telemetry namespace label (`board<idx>`).
+    pub label: String,
+    /// Cycles consumed (halted time included).
+    pub cycles: u64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Guest `naccepts` counter.
+    pub accepts: u16,
+    /// Guest `nopen` counter — 0 after an orderly teardown.
+    pub open: u16,
+    /// Per-handle guest counters (secure firmware only; empty for
+    /// plain echo).
+    pub conns: Vec<ConnCounters>,
+    /// Serial console output.
+    pub serial_tx: Vec<u8>,
+}
+
+/// Result of one balanced fleet serving run.
+#[derive(Debug)]
+pub struct FleetRun {
+    /// Per-client observations, in `clients` order.
+    pub outcomes: Vec<ClientOutcome>,
+    /// Per-board reports, in board order.
+    pub boards: Vec<BoardReport>,
+    /// Balancer per-backend routing statistics, in board order.
+    pub backends: Vec<BackendStats>,
+    /// Epochs the fleet scheduler ran (fast-forwarded ones included).
+    pub epochs: u64,
+    /// Final virtual time of the shared world, in microseconds.
+    pub virtual_us: u64,
+    /// Total bytes echoed back across all clients.
+    pub echoed_bytes: u64,
+    /// Deterministic text snapshot of the world telemetry (per-board
+    /// namespaced counters plus the balancer's `lb.*` family).
+    pub snapshot: String,
+    /// Root code size of the shared firmware, in bytes.
+    pub code_size: usize,
+}
+
+/// Runs `spec.boards` boards behind a simulated TCP load balancer
+/// against `spec.clients` concurrent host-side clients. Every
+/// observable is a deterministic function of the spec — identical on
+/// both engines and under any per-epoch board visit order.
+///
+/// # Panics
+///
+/// If a board's firmware faults or the session does not converge.
+pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
+    assert!(spec.boards >= 1, "a fleet has at least one board");
+    let (build, port) = match &spec.firmware {
+        FleetFirmware::PlainEcho => (build_serve_firmware(spec.opts), SERVE_PORT),
+        FleetFirmware::SecureEcho { .. } => (build_secure_firmware(spec.opts), SECURE_PORT),
+    };
+
+    let world = Rc::new(RefCell::new(World::new(42)));
+    let mut fleet = Fleet::new(&world);
+    for i in 0..spec.boards {
+        let ip = Ipv4::new(10, 0, 1, 1 + u8::try_from(i).expect("few boards"));
+        let b = fleet.add_board(spec.engine, &format!("rmc2000-{i}"), ip);
+        let board = fleet.board_mut(b);
+        board.load(&build.image);
+        board.set_pc(dcc::layout::CODE_ORG);
+        if let FleetFirmware::SecureEcho { psk } = &spec.firmware {
+            assert!(psk.len() <= 64, "guest PSK buffer is 64 bytes");
+            let psk_phys = build.symbol_phys("_psk").expect("C global `psk`");
+            board.mem.load(psk_phys, psk);
+            let psklen_phys = build.symbol_phys("_psklen").expect("C global `psklen`");
+            board
+                .mem
+                .load(psklen_phys, &(psk.len() as u16).to_le_bytes());
+        }
+    }
+
+    let mut lb = LoadBalancer::attach(
+        &world,
+        "lb",
+        Ipv4::new(10, 0, 0, 250),
+        port,
+        64,
+        spec.policy,
+    );
+    // Each board owns MAX_CONNS connection handles; clients beyond the
+    // fleet-wide capacity wait at the balancer, not in a board backlog
+    // (where the connect-timeout health check would misread a busy
+    // board as a dead one).
+    lb.set_max_inflight(Some(MAX_CONNS));
+    let lb_ip = lb.host().ip();
+    for i in 0..spec.boards {
+        let link = if spec.dead_links.contains(&i) {
+            LinkParams::ethernet_10base_t().with_drop_rate(1.0)
+        } else {
+            LinkParams::ethernet_10base_t()
+        };
+        let board_host = fleet.host(i).id();
+        world.borrow_mut().link(lb.host().id(), board_host, link);
+        lb.add_backend(Endpoint::new(fleet.ip(i), port));
+    }
+
+    let mut hosts: Vec<SimHost> = (0..spec.clients.len())
+        .map(|i| {
+            let ip = Ipv4::new(10, 0, 2, 1 + u8::try_from(i).expect("few clients"));
+            let host = SimHost::attach(&world, "client", ip);
+            world
+                .borrow_mut()
+                .link(lb.host().id(), host.id(), LinkParams::ethernet_10base_t());
+            host
+        })
+        .collect();
+
+    let identity: Vec<usize> = (0..spec.boards).collect();
+    let order_at = |orders: &[Vec<usize>], e: u64| -> Vec<usize> {
+        if orders.is_empty() {
+            identity.clone()
+        } else {
+            orders[usize::try_from(e).expect("few epochs") % orders.len()].clone()
+        }
+    };
+
+    // Boot: every board's main seeds its state, configures serial + NIC,
+    // and parks in idle().
+    let mut boot_epochs = 0u64;
+    loop {
+        let order = order_at(&spec.orders, fleet.epochs());
+        fleet.run_epoch(&order);
+        boot_epochs += 1;
+        if fleet.all_parked() {
+            break;
+        }
+        assert!(boot_epochs < 2_000, "fleet firmware boots");
+    }
+
+    // Everyone dials the balancer's front address.
+    let conns: Vec<SocketId> = hosts
+        .iter_mut()
+        .map(|h| h.connect(Endpoint::new(lb_ip, port)))
+        .collect();
+    let mut state = client_states(&spec.clients);
+
+    const MAX_EPOCHS: u64 = 4_000_000; // 200 virtual seconds
+    const FF_CHUNK: u64 = 200; // 10ms of skipped idle per decision
+
+    let mut next_probe: Vec<u64> = vec![spec.probe_gap_us.unwrap_or(0); spec.boards];
+
+    while state.iter().any(|s| !s.done) {
+        assert!(
+            fleet.epochs() < MAX_EPOCHS,
+            "fleet serve session did not converge"
+        );
+        let order = order_at(&spec.orders, fleet.epochs());
+        fleet.run_epoch(&order);
+        lb.pump();
+
+        if let Some(gap) = spec.probe_gap_us {
+            // Probes only against a parked board: the injection point is
+            // then a deterministic function of virtual time, identical
+            // on both engines and under any visit order.
+            let now = world.borrow().now();
+            for (i, due) in next_probe.iter_mut().enumerate() {
+                if now >= *due && fleet.parked(i) {
+                    fleet.board_mut(i).serial_mut().inject(SERIAL_PROBE);
+                    *due = now + gap;
+                }
+            }
+        }
+
+        for ((host, &conn), st) in hosts.iter_mut().zip(&conns).zip(state.iter_mut()) {
+            if !st.done {
+                step_client(host, conn, st);
+            }
+        }
+
+        // Fleet-wide idle skip, held short of the next probe due-time so
+        // the probe schedule is unaffected.
+        let mut bound = FF_CHUNK;
+        if spec.probe_gap_us.is_some() {
+            let now = world.borrow().now();
+            let soonest = next_probe.iter().copied().min().unwrap_or(u64::MAX);
+            bound = if soonest > now {
+                bound.min((soonest - now) / EPOCH_US)
+            } else {
+                0
+            };
+        }
+        if bound > 0 {
+            fleet.fast_forward(bound);
+        }
+    }
+
+    // Orderly teardown: FINs propagate through the balancer, the guests
+    // observe them and free their handles.
+    for _ in 0..150 {
+        let order = order_at(&spec.orders, fleet.epochs());
+        fleet.run_epoch(&order);
+        lb.pump();
+    }
+
+    let read_arr = |board: &Board, name: &str, idx: usize| -> u16 {
+        let phys = build.symbol_phys(name).expect("C global exists") + 2 * idx as u32;
+        u16::from_le_bytes([board.mem.read_phys(phys), board.mem.read_phys(phys + 1)])
+    };
+
+    let reports: Vec<BoardReport> = (0..spec.boards)
+        .map(|i| {
+            let board = fleet.board(i);
+            let conns = match &spec.firmware {
+                FleetFirmware::PlainEcho => Vec::new(),
+                FleetFirmware::SecureEcho { .. } => (0..MAX_CONNS)
+                    .map(|h| ConnCounters {
+                        handshakes: read_arr(board, "_hs_ok", h),
+                        records_in: read_arr(board, "_rec_in", h),
+                        records_out: read_arr(board, "_rec_out", h),
+                        alerts: read_arr(board, "_alerts", h),
+                    })
+                    .collect(),
+            };
+            BoardReport {
+                label: format!("board{i}"),
+                cycles: board.cpu.cycles,
+                instructions: board.cpu.instructions,
+                accepts: read_arr(board, "_naccepts", 0),
+                open: read_arr(board, "_nopen", 0),
+                conns,
+                serial_tx: board.serial().transmitted().to_vec(),
+            }
+        })
+        .collect();
+
+    // Publish the guests' counters into the shared registry under their
+    // board namespaces, mirroring what `secure_serve` does for board 0.
+    {
+        let w = world.borrow();
+        let reg = w.telemetry();
+        for r in &reports {
+            for (h, c) in r.conns.iter().enumerate() {
+                let hl = h.to_string();
+                let labels = [("conn", hl.as_str())];
+                for (name, v) in [
+                    ("issl.guest.handshakes", u64::from(c.handshakes)),
+                    ("issl.guest.records.in", u64::from(c.records_in)),
+                    ("issl.guest.records.out", u64::from(c.records_out)),
+                    ("issl.guest.alerts", u64::from(c.alerts)),
+                ] {
+                    reg.counter(&format!("{}.{name}", r.label), &labels).add(v);
+                }
+            }
+        }
+    }
+
+    let snapshot = world.borrow().telemetry().snapshot().to_text();
+    let virtual_us = world.borrow().now();
+    let echoed_bytes = state.iter().map(|s| s.out.echoed.len() as u64).sum();
+    FleetRun {
+        outcomes: state.into_iter().map(|s| s.out).collect(),
+        boards: reports,
+        backends: lb.backend_stats(),
+        epochs: fleet.epochs(),
+        virtual_us,
+        echoed_bytes,
+        snapshot,
+        code_size: build.code_size(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_clients(n: usize) -> Vec<GuestClient> {
+        (0..n)
+            .map(|i| GuestClient::Plain {
+                messages: vec![format!("fleet echo {i}").into_bytes()],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_board_fleet_serves_plain_echo() {
+        let mut spec = FleetSpec::new(Engine::Interpreter, 2, b"", echo_clients(4));
+        spec.firmware = FleetFirmware::PlainEcho;
+        let r = fleet_serve(&spec);
+        for (i, o) in r.outcomes.iter().enumerate() {
+            assert_eq!(o.echoed, format!("fleet echo {i}").into_bytes(), "client {i}");
+        }
+        // Round-robin spread the four sessions evenly.
+        assert_eq!(
+            r.backends.iter().map(|b| b.served).collect::<Vec<_>>(),
+            vec![2, 2]
+        );
+        for b in &r.boards {
+            assert_eq!(b.open, 0, "{} freed its handles", b.label);
+        }
+        assert!(r.snapshot.contains("board0.net.board.conn.accepts"));
+        assert!(r.snapshot.contains("board1.net.board.conn.accepts"));
+    }
+
+    #[test]
+    fn visit_order_is_unobservable() {
+        let mut a = FleetSpec::new(Engine::Interpreter, 3, b"", echo_clients(6));
+        a.firmware = FleetFirmware::PlainEcho;
+        let mut b = a.clone();
+        b.orders = vec![vec![2, 0, 1], vec![1, 2, 0]];
+        let ra = fleet_serve(&a);
+        let rb = fleet_serve(&b);
+        assert_eq!(ra.outcomes, rb.outcomes);
+        assert_eq!(ra.snapshot, rb.snapshot);
+        assert_eq!(ra.virtual_us, rb.virtual_us);
+        assert_eq!(ra.epochs, rb.epochs);
+    }
+}

@@ -32,12 +32,17 @@
 pub mod board;
 pub mod echo;
 pub mod firmware;
+pub mod fleet;
 pub mod nic;
 pub mod secure;
 pub mod serial;
 pub mod serve;
 
 pub use board::{Board, BoardCounters, Rtc, RunOutcome};
+pub use fleet::{
+    fleet_serve, BackendStats, BoardReport, Fleet, FleetFirmware, FleetRun, FleetSpec, LbPolicy,
+    EPOCH_CYCLES, EPOCH_US,
+};
 pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
 pub use secure::{
     build_secure_firmware, secure_serve, ClientOutcome, ConnCounters, GuestClient, SecureRun,

@@ -7,10 +7,14 @@
 //! plus packet windows reached with `ioe`) but terminates TCP in the
 //! simulated network stack, like a TCP-offload NIC: the frames the guest
 //! exchanges through the rings are TCP payload chunks. Guest cycles drive
-//! the backend clock — [`Nic::tick`] converts CPU cycles to microseconds
-//! at [`CYCLES_PER_US`] (the repo-wide 30 MHz board clock) and advances
-//! the shared `netsim` world in lockstep, so instruction execution and
-//! packet delivery share one deterministic timeline.
+//! the backend's *local* clock — [`Nic::tick`] converts CPU cycles to
+//! microseconds at [`CYCLES_PER_US`] (the repo-wide 30 MHz board clock).
+//! Whether that local clock also drags the shared `netsim` world along is
+//! the [`ClockMode`] contract: a solo board follows the legacy lockstep
+//! ([`ClockMode::Follow`]), while fleet boards are passive participants
+//! whose world is advanced only by the `rmc2000::fleet` scheduler —
+//! either way instruction execution and packet delivery share one
+//! deterministic timeline.
 //!
 //! # Connection handles
 //!
@@ -170,10 +174,14 @@ pub struct NicCounters {
 const CONN_LABELS: [&str; MAX_CONNS] = ["0", "1", "2"];
 
 impl NicCounters {
-    /// Registers the counters in `registry` (idempotent: fetches the
-    /// existing cells on a second call).
+    /// Registers the counters in `registry` under the single-board names
+    /// (`net.board.*`), and aliases each cell under the board-namespaced
+    /// name (`board0.net.board.*`) — so the E11–E14 snapshots keep their
+    /// historical keys while fleet-era tooling can address the same cells
+    /// uniformly. Idempotent: fetches the existing cells on a second
+    /// call.
     pub fn register(registry: &telemetry::Registry) -> NicCounters {
-        NicCounters {
+        let c = NicCounters {
             rx_frames: registry.counter("net.board.rx_frames", &[]),
             rx_bytes: registry.counter("net.board.rx_bytes", &[]),
             tx_frames: registry.counter("net.board.tx_frames", &[]),
@@ -188,6 +196,48 @@ impl NicCounters {
                     tx_bytes: registry.counter("net.board.conn.tx_bytes", &[("conn", l)]),
                 })
                 .collect(),
+        };
+        c.alias(registry, 0);
+        c
+    }
+
+    /// Registers the counters under board-namespaced names only
+    /// (`board<idx>.net.board.*`) — the fleet form, where several boards
+    /// share one registry and the single-board names would collide.
+    pub fn register_board(registry: &telemetry::Registry, idx: usize) -> NicCounters {
+        let p = |name: &str| format!("board{idx}.{name}");
+        NicCounters {
+            rx_frames: registry.counter(&p("net.board.rx_frames"), &[]),
+            rx_bytes: registry.counter(&p("net.board.rx_bytes"), &[]),
+            tx_frames: registry.counter(&p("net.board.tx_frames"), &[]),
+            tx_bytes: registry.counter(&p("net.board.tx_bytes"), &[]),
+            irqs: registry.counter(&p("net.board.irqs"), &[]),
+            cmd_errors: registry.counter(&p("net.board.cmd_errors"), &[]),
+            conn: CONN_LABELS
+                .iter()
+                .map(|l| ConnCounters {
+                    accepts: registry.counter(&p("net.board.conn.accepts"), &[("conn", l)]),
+                    rx_bytes: registry.counter(&p("net.board.conn.rx_bytes"), &[("conn", l)]),
+                    tx_bytes: registry.counter(&p("net.board.conn.tx_bytes"), &[("conn", l)]),
+                })
+                .collect(),
+        }
+    }
+
+    /// Aliases every cell under `board<idx>.`-prefixed names.
+    fn alias(&self, registry: &telemetry::Registry, idx: usize) {
+        let p = |name: &str| format!("board{idx}.{name}");
+        let _ = registry.alias_counter(&p("net.board.rx_frames"), &[], &self.rx_frames);
+        let _ = registry.alias_counter(&p("net.board.rx_bytes"), &[], &self.rx_bytes);
+        let _ = registry.alias_counter(&p("net.board.tx_frames"), &[], &self.tx_frames);
+        let _ = registry.alias_counter(&p("net.board.tx_bytes"), &[], &self.tx_bytes);
+        let _ = registry.alias_counter(&p("net.board.irqs"), &[], &self.irqs);
+        let _ = registry.alias_counter(&p("net.board.cmd_errors"), &[], &self.cmd_errors);
+        for (l, c) in CONN_LABELS.iter().zip(&self.conn) {
+            let labels = [("conn", *l)];
+            let _ = registry.alias_counter(&p("net.board.conn.accepts"), &labels, &c.accepts);
+            let _ = registry.alias_counter(&p("net.board.conn.rx_bytes"), &labels, &c.rx_bytes);
+            let _ = registry.alias_counter(&p("net.board.conn.tx_bytes"), &labels, &c.tx_bytes);
         }
     }
 
@@ -262,8 +312,10 @@ impl Nic {
         }
     }
 
-    /// A NIC attached to a `netsim` host, with counters registered in the
-    /// world's telemetry registry.
+    /// A NIC attached to a `netsim` host under the legacy solo contract:
+    /// the backend's clock drives the world ([`ClockMode::Follow`]), and
+    /// the counters register under the single-board `net.board.*` names
+    /// (aliased as `board0.net.board.*`).
     pub fn simulated(host: SimHost) -> Nic {
         let counters = {
             let world = host.world();
@@ -271,6 +323,23 @@ impl Nic {
             NicCounters::register(world.telemetry())
         };
         Nic::with_counters(Box::new(SimBackend::new(host)), counters)
+    }
+
+    /// A NIC attached to a `netsim` host as fleet board `idx`: the
+    /// backend is a passive world participant ([`ClockMode::Passive`] —
+    /// only the fleet scheduler advances time) and the counters register
+    /// under `board<idx>.net.board.*` so boards sharing one registry
+    /// never collide.
+    pub fn fleet_attached(host: SimHost, idx: usize) -> Nic {
+        let counters = {
+            let world = host.world();
+            let world = world.borrow();
+            NicCounters::register_board(world.telemetry(), idx)
+        };
+        Nic::with_counters(
+            Box::new(SimBackend::with_mode(host, ClockMode::Passive)),
+            counters,
+        )
     }
 
     /// The counters this NIC reports through.
@@ -550,12 +619,33 @@ struct SimConn {
     pending_tx: Vec<u8>,
 }
 
+/// Who advances the shared world's clock when this backend's board
+/// makes progress. The policy is chosen by whoever assembles the world —
+/// the backend itself only *reports* its local time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// The legacy one-board contract: the world's clock follows this
+    /// board's local clock exactly (every advance drags
+    /// [`netsim::World::run_for`] along). Only valid while this board is
+    /// the world's sole clock driver — the contract
+    /// [`crate::fleet`] exists to replace.
+    Follow,
+    /// A fleet participant: advances accumulate in the backend's local
+    /// clock only; the `rmc2000::fleet` scheduler owns the world's clock
+    /// and moves it at epoch boundaries.
+    Passive,
+}
+
 /// The production backend: a TCP-offload attachment to a `netsim` host
 /// (see [`SimHost`]). One listener, a handle table of up to
 /// [`MAX_CONNS`] concurrent connections; bytes a send buffer rejects are
-/// retried on the next poll.
+/// retried on the next poll. The backend never decides when world time
+/// moves — that is the [`ClockMode`] chosen at construction.
 pub struct SimBackend {
     host: SimHost,
+    mode: ClockMode,
+    /// This board's local clock: microseconds of `advance` accumulated.
+    local_us: u64,
     listener: Option<SocketId>,
     conns: Vec<Option<SimConn>>,
 }
@@ -565,10 +655,18 @@ pub struct SimBackend {
 const LISTEN_BACKLOG: usize = 8;
 
 impl SimBackend {
-    /// Wraps a host handle.
+    /// Wraps a host handle under the legacy [`ClockMode::Follow`]
+    /// contract (this board drives the world's clock).
     pub fn new(host: SimHost) -> SimBackend {
+        SimBackend::with_mode(host, ClockMode::Follow)
+    }
+
+    /// Wraps a host handle with an explicit clock-ownership policy.
+    pub fn with_mode(host: SimHost, mode: ClockMode) -> SimBackend {
         SimBackend {
             host,
+            mode,
+            local_us: 0,
             listener: None,
             conns: (0..MAX_CONNS).map(|_| None).collect(),
         }
@@ -586,7 +684,27 @@ impl SimBackend {
 
 impl NicBackend for SimBackend {
     fn advance(&mut self, us: u64) {
-        self.host.advance(us);
+        self.local_us += us;
+        match self.mode {
+            ClockMode::Follow => {
+                // The world follows this board exactly — the legacy
+                // solo contract, byte-for-byte.
+                let now = self.host.now();
+                if self.local_us > now {
+                    self.host.advance(self.local_us - now);
+                }
+            }
+            ClockMode::Passive => {
+                // The fleet scheduler owns the clock; debug builds check
+                // it kept its side of the contract (the world reaches a
+                // poll boundary before any board's local clock crosses
+                // it by a full period).
+                debug_assert!(
+                    self.local_us <= self.host.now() + POLL_PERIOD_US,
+                    "fleet scheduler fell behind board local clock"
+                );
+            }
+        }
     }
 
     fn listen(&mut self, port: u16) -> bool {
@@ -684,9 +802,14 @@ impl NicBackend for SimBackend {
         // Otherwise socket state can only change when the world processes
         // its next scheduled event (delivery, retransmit, timer) — a
         // lower bound on any observable poll. An empty event queue means
-        // nothing will ever arrive until the guest transmits.
-        let now = self.host.now();
-        self.host.next_event_us().map(|t| t.saturating_sub(now))
+        // nothing will ever arrive until the guest transmits. The bound
+        // is relative to this board's *local* clock (identical to the
+        // world's under `ClockMode::Follow`; at most one epoch apart
+        // under the fleet scheduler, where the hint is only consulted at
+        // epoch boundaries with the clocks aligned).
+        self.host
+            .next_event_us()
+            .map(|t| t.saturating_sub(self.local_us))
     }
 }
 

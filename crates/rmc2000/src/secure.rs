@@ -36,10 +36,10 @@ use rabbit::nicmap::{
 use rabbit::Engine;
 use telemetry::{ProfileReport, SymbolTable};
 
-use crate::nic::{Nic, NIC_VECTOR};
+use crate::nic::NIC_VECTOR;
 use crate::serial::SERIAL_A_VECTOR;
 use crate::serve::SERIAL_PROBE;
-use crate::{Board, RunOutcome};
+use crate::RunOutcome;
 
 /// TCP port the secure server listens on.
 pub const SECURE_PORT: u16 = 443;
@@ -738,6 +738,10 @@ pub enum GuestClient {
     /// comes back — for handcrafted records the client machine would
     /// refuse to emit.
     Raw { payload: Vec<u8> },
+    /// Sends `payload` once connected and then hangs up immediately —
+    /// the client that disconnects mid-handshake. Whatever the guest
+    /// answers (typically an alert) lands in `raw_rx`.
+    HangUp { payload: Vec<u8> },
 }
 
 impl GuestClient {
@@ -812,7 +816,7 @@ pub struct SecureRun {
     pub profile: Option<ProfileReport>,
 }
 
-enum Mode {
+pub(crate) enum Mode {
     Secure {
         machine: Box<SessionMachine>,
         tamper: Tamper,
@@ -832,15 +836,19 @@ enum Mode {
         sent: bool,
         closed: bool,
     },
+    HangUp {
+        payload: Vec<u8>,
+        sent: bool,
+    },
 }
 
-struct Cs {
-    mode: Mode,
-    msgs: Vec<Vec<u8>>,
-    expected: usize,
-    out: ClientOutcome,
-    fin: bool,
-    done: bool,
+pub(crate) struct Cs {
+    pub(crate) mode: Mode,
+    pub(crate) msgs: Vec<Vec<u8>>,
+    pub(crate) expected: usize,
+    pub(crate) out: ClientOutcome,
+    pub(crate) fin: bool,
+    pub(crate) done: bool,
 }
 
 /// Whether `rx` starts with one complete record.
@@ -849,7 +857,7 @@ fn record_complete(rx: &[u8]) -> bool {
         && rx.len() >= recmap::HEADER_LEN + usize::from(u16::from_be_bytes([rx[1], rx[2]]))
 }
 
-fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
+pub(crate) fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
     // Drain the TCP receive buffer first; probe for the guest's FIN when
     // it is empty.
     let avail = host.available(conn);
@@ -867,7 +875,7 @@ fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
                     }
                 }
                 Mode::Plain { .. } => st.out.echoed.extend_from_slice(&buf),
-                Mode::Raw { .. } => {}
+                Mode::Raw { .. } | Mode::HangUp { .. } => {}
             }
         }
     } else if matches!(host.recv(conn, &mut [0u8; 1]), Recv::Closed | Recv::Reset) {
@@ -989,6 +997,17 @@ fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
                 *closed = true;
             }
         }
+        Mode::HangUp { payload, sent } => {
+            st.out.established |= host.established(conn);
+            if !*sent && host.established(conn) {
+                let n = host.send(conn, payload);
+                assert_eq!(n, payload.len(), "hang-up send fits");
+                *sent = true;
+                // Disconnect mid-exchange: FIN right behind the payload.
+                host.close(conn);
+            }
+            st.done = *sent && st.fin;
+        }
     }
 
     if st.done {
@@ -996,68 +1015,12 @@ fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
     }
 }
 
-/// Runs the compiled-C secure server against `clients.len()` concurrent
-/// host-side clients; `psk` is the credential poked into the board's C
-/// globals before boot. Mirrors [`crate::serve::serve_clients`]: console
-/// probes are injected only against a halted CPU, so every observable is
-/// a deterministic function of the workload — identical on both engines.
-///
-/// # Panics
-///
-/// If `psk` exceeds the guest's 64-byte key buffer, the firmware faults,
-/// or the session does not converge.
-pub fn secure_serve(
-    engine: Engine,
-    opts: dcc::Options,
-    psk: &[u8],
-    clients: &[GuestClient],
-    probe_gap_us: Option<u64>,
-    profile: bool,
-) -> SecureRun {
-    assert!(psk.len() <= 64, "guest PSK buffer is 64 bytes");
-    let build = build_secure_firmware(opts);
-
-    let world = Rc::new(RefCell::new(World::new(42)));
-    let board_host = SimHost::attach(&world, "rmc2000", Ipv4::new(10, 0, 0, 1));
-    let board_ip = board_host.ip();
-    let mut hosts: Vec<SimHost> = (0..clients.len())
-        .map(|i| {
-            let ip = Ipv4::new(10, 0, 0, 2 + u8::try_from(i).expect("few clients"));
-            let host = SimHost::attach(&world, "client", ip);
-            world
-                .borrow_mut()
-                .link(board_host.id(), host.id(), LinkParams::ethernet_10base_t());
-            host
-        })
-        .collect();
-
-    let mut board = Board::with_engine(engine);
-    board.bind_telemetry(world.borrow().telemetry());
-    board.attach_nic(Nic::simulated(board_host));
-    board.load(&build.image);
-    board.set_pc(dcc::layout::CODE_ORG);
-    if profile {
-        board.cpu.enable_profiler();
-    }
-
-    // Poke the credential into the guest's C globals: root data lives in
-    // SRAM, and `Memory::load` models the kit's programming port.
-    let psk_phys = build.symbol_phys("_psk").expect("C global `psk`");
-    board.mem.load(psk_phys, psk);
-    let psklen_phys = build.symbol_phys("_psklen").expect("C global `psklen`");
-    board
-        .mem
-        .load(psklen_phys, &(psk.len() as u16).to_le_bytes());
-
-    // Boot: main seeds the PRNG, configures serial + NIC, parks in idle().
-    assert_eq!(board.run(200_000), RunOutcome::Halted, "firmware boots");
-
-    let conns: Vec<SocketId> = hosts
-        .iter_mut()
-        .map(|h| h.connect(Endpoint::new(board_ip, SECURE_PORT)))
-        .collect();
-
-    let mut state: Vec<Cs> = clients
+/// Builds the per-client driver state for `clients`, in order. The PRNG
+/// seed depends only on the client index, so the same workload produces
+/// the same ClientHello bytes in every driver ([`secure_serve`] and the
+/// fleet driver share this).
+pub(crate) fn client_states(clients: &[GuestClient]) -> Vec<Cs> {
+    clients
         .iter()
         .enumerate()
         .map(|(i, c)| {
@@ -1071,8 +1034,7 @@ pub fn secure_serve(
                         suite: CipherSuite::AES128,
                         kx: ClientKx::PreShared(psk.clone()),
                     };
-                    let machine =
-                        SessionMachine::client(config, Prng::new(0xC0DE + i as u64));
+                    let machine = SessionMachine::client(config, Prng::new(0xC0DE + i as u64));
                     (
                         Mode::Secure {
                             machine: Box::new(machine),
@@ -1102,6 +1064,13 @@ pub fn secure_serve(
                     },
                     Vec::new(),
                 ),
+                GuestClient::HangUp { payload } => (
+                    Mode::HangUp {
+                        payload: payload.clone(),
+                        sent: false,
+                    },
+                    Vec::new(),
+                ),
             };
             Cs {
                 expected: msgs.iter().map(Vec::len).sum(),
@@ -1112,7 +1081,71 @@ pub fn secure_serve(
                 done: false,
             }
         })
+        .collect()
+}
+
+/// Runs the compiled-C secure server against `clients.len()` concurrent
+/// host-side clients; `psk` is the credential poked into the board's C
+/// globals before boot. Mirrors [`crate::serve::serve_clients`]: console
+/// probes are injected only against a halted CPU, so every observable is
+/// a deterministic function of the workload — identical on both engines.
+///
+/// # Panics
+///
+/// If `psk` exceeds the guest's 64-byte key buffer, the firmware faults,
+/// or the session does not converge.
+pub fn secure_serve(
+    engine: Engine,
+    opts: dcc::Options,
+    psk: &[u8],
+    clients: &[GuestClient],
+    probe_gap_us: Option<u64>,
+    profile: bool,
+) -> SecureRun {
+    assert!(psk.len() <= 64, "guest PSK buffer is 64 bytes");
+    let build = build_secure_firmware(opts);
+
+    let world = Rc::new(RefCell::new(World::new(42)));
+    let mut fleet = crate::fleet::Fleet::new(&world);
+    let b = fleet.add_solo_board(engine, "rmc2000", Ipv4::new(10, 0, 0, 1));
+    let board_ip = fleet.ip(b);
+    let board_id = fleet.host(b).id();
+    let mut hosts: Vec<SimHost> = (0..clients.len())
+        .map(|i| {
+            let ip = Ipv4::new(10, 0, 0, 2 + u8::try_from(i).expect("few clients"));
+            let host = SimHost::attach(&world, "client", ip);
+            world
+                .borrow_mut()
+                .link(board_id, host.id(), LinkParams::ethernet_10base_t());
+            host
+        })
         .collect();
+
+    let board = fleet.board_mut(b);
+    board.load(&build.image);
+    board.set_pc(dcc::layout::CODE_ORG);
+    if profile {
+        board.cpu.enable_profiler();
+    }
+
+    // Poke the credential into the guest's C globals: root data lives in
+    // SRAM, and `Memory::load` models the kit's programming port.
+    let psk_phys = build.symbol_phys("_psk").expect("C global `psk`");
+    board.mem.load(psk_phys, psk);
+    let psklen_phys = build.symbol_phys("_psklen").expect("C global `psklen`");
+    board
+        .mem
+        .load(psklen_phys, &(psk.len() as u16).to_le_bytes());
+
+    // Boot: main seeds the PRNG, configures serial + NIC, parks in idle().
+    assert_eq!(board.run(200_000), RunOutcome::Halted, "firmware boots");
+
+    let conns: Vec<SocketId> = hosts
+        .iter_mut()
+        .map(|h| h.connect(Endpoint::new(board_ip, SECURE_PORT)))
+        .collect();
+
+    let mut state: Vec<Cs> = client_states(clients);
 
     const RUN_CHUNK: u64 = 2_000;
     const IDLE_CHUNK: u64 = 100 * crate::nic::CYCLES_PER_US;
@@ -1122,22 +1155,17 @@ pub fn secure_serve(
 
     while state.iter().any(|s| !s.done) {
         assert!(
-            board.cpu.cycles < MAX_CYCLES,
+            fleet.board(b).cpu.cycles < MAX_CYCLES,
             "secure serve session did not converge"
         );
-        match board.run(RUN_CHUNK) {
-            RunOutcome::Halted => {
-                if let Some(gap) = probe_gap_us {
-                    if world.borrow().now() >= next_probe_us {
-                        board.serial_mut().inject(SERIAL_PROBE);
-                        next_probe_us = world.borrow().now() + gap;
-                    }
+        fleet.solo_pump(RUN_CHUNK, IDLE_CHUNK, |board| {
+            if let Some(gap) = probe_gap_us {
+                if world.borrow().now() >= next_probe_us {
+                    board.serial_mut().inject(SERIAL_PROBE);
+                    next_probe_us = world.borrow().now() + gap;
                 }
-                board.idle(IDLE_CHUNK);
             }
-            RunOutcome::BudgetExhausted => {}
-            other => panic!("secure firmware stopped: {other:?}"),
-        }
+        });
         for ((host, &conn), st) in hosts.iter_mut().zip(&conns).zip(state.iter_mut()) {
             if !st.done {
                 step_client(host, conn, st);
@@ -1147,10 +1175,9 @@ pub fn secure_serve(
 
     // Orderly teardown: the guest observes the FINs and frees its handles.
     for _ in 0..40 {
-        if board.run(RUN_CHUNK) == RunOutcome::Halted {
-            board.idle(IDLE_CHUNK);
-        }
+        fleet.solo_settle(RUN_CHUNK, IDLE_CHUNK);
     }
+    let board = fleet.board_mut(b);
 
     let read_arr = |name: &str, idx: usize| -> u16 {
         let phys = build.symbol_phys(name).expect("C global exists") + 2 * idx as u32;
@@ -1175,14 +1202,18 @@ pub fn secure_serve(
         for (h, c) in conn_counters.iter().enumerate() {
             let hl = h.to_string();
             let labels = [("conn", hl.as_str())];
-            reg.counter("issl.guest.handshakes", &labels)
-                .add(u64::from(c.handshakes));
-            reg.counter("issl.guest.records.in", &labels)
-                .add(u64::from(c.records_in));
-            reg.counter("issl.guest.records.out", &labels)
-                .add(u64::from(c.records_out));
-            reg.counter("issl.guest.alerts", &labels)
-                .add(u64::from(c.alerts));
+            for (name, v) in [
+                ("issl.guest.handshakes", u64::from(c.handshakes)),
+                ("issl.guest.records.in", u64::from(c.records_in)),
+                ("issl.guest.records.out", u64::from(c.records_out)),
+                ("issl.guest.alerts", u64::from(c.alerts)),
+            ] {
+                let counter = reg.counter(name, &labels);
+                // A single-board run is board 0 of a one-board fleet: the
+                // namespaced key shares the legacy counter's cell.
+                reg.alias_counter(&format!("board0.{name}"), &labels, &counter);
+                counter.add(v);
+            }
         }
     }
 

@@ -22,9 +22,9 @@ use rabbit::nicmap::{
 };
 use rabbit::Engine;
 
-use crate::nic::{Nic, NIC_VECTOR};
+use crate::nic::NIC_VECTOR;
 use crate::serial::SERIAL_A_VECTOR;
-use crate::{Board, RunOutcome};
+use crate::RunOutcome;
 
 /// TCP port the C server listens on.
 pub const SERVE_PORT: u16 = 7;
@@ -174,22 +174,22 @@ pub fn serve_clients(
     let build = build_serve_firmware(opts);
 
     let world = Rc::new(RefCell::new(World::new(42)));
-    let board_host = SimHost::attach(&world, "rmc2000", Ipv4::new(10, 0, 0, 1));
-    let board_ip = board_host.ip();
+    let mut fleet = crate::fleet::Fleet::new(&world);
+    let b = fleet.add_solo_board(engine, "rmc2000", Ipv4::new(10, 0, 0, 1));
+    let board_ip = fleet.ip(b);
+    let board_id = fleet.host(b).id();
     let mut hosts: Vec<SimHost> = (0..clients.len())
         .map(|i| {
             let ip = Ipv4::new(10, 0, 0, 2 + u8::try_from(i).expect("few clients"));
             let host = SimHost::attach(&world, "client", ip);
             world
                 .borrow_mut()
-                .link(board_host.id(), host.id(), LinkParams::ethernet_10base_t());
+                .link(board_id, host.id(), LinkParams::ethernet_10base_t());
             host
         })
         .collect();
 
-    let mut board = Board::with_engine(engine);
-    board.bind_telemetry(world.borrow().telemetry());
-    board.attach_nic(Nic::simulated(board_host));
+    let board = fleet.board_mut(b);
     board.load(&build.image);
     board.set_pc(dcc::layout::CODE_ORG);
 
@@ -229,26 +229,21 @@ pub fn serve_clients(
 
     while state.iter().any(|s| s.echoed.len() < s.expected) {
         assert!(
-            board.cpu.cycles < MAX_CYCLES,
+            fleet.board(b).cpu.cycles < MAX_CYCLES,
             "serve session did not converge"
         );
-        match board.run(RUN_CHUNK) {
-            RunOutcome::Halted => {
-                if let Some(gap) = probe_gap_us {
-                    // Console probes only against a halted CPU: the
-                    // injection point is then a deterministic function of
-                    // virtual time, identical on both engines.
-                    if world.borrow().now() >= next_probe_us {
-                        board.serial_mut().inject(SERIAL_PROBE);
-                        next_probe_us = world.borrow().now() + gap;
-                    }
+        fleet.solo_pump(RUN_CHUNK, IDLE_CHUNK, |board| {
+            if let Some(gap) = probe_gap_us {
+                // Console probes only against a halted CPU: the
+                // injection point is then a deterministic function of
+                // virtual time, identical on both engines.
+                if world.borrow().now() >= next_probe_us {
+                    board.serial_mut().inject(SERIAL_PROBE);
+                    next_probe_us = world.borrow().now() + gap;
                 }
-                board.idle(IDLE_CHUNK);
             }
-            RunOutcome::BudgetExhausted => {}
-            other => panic!("firmware stopped: {other:?}"),
-        }
-        peak_open = peak_open.max(board.nic().expect("nic attached").open_handles());
+        });
+        peak_open = peak_open.max(fleet.board(b).nic().expect("nic attached").open_handles());
 
         for ((host, &conn), (msgs, st)) in hosts
             .iter_mut()
@@ -282,12 +277,11 @@ pub fn serve_clients(
     // Orderly teardown: the guest observes the FINs, closes its
     // handles, and frees them for anything left in the backlog.
     for _ in 0..40 {
-        if board.run(RUN_CHUNK) == RunOutcome::Halted {
-            board.idle(IDLE_CHUNK);
-        }
-        peak_open = peak_open.max(board.nic().expect("nic attached").open_handles());
+        fleet.solo_settle(RUN_CHUNK, IDLE_CHUNK);
+        peak_open = peak_open.max(fleet.board(b).nic().expect("nic attached").open_handles());
     }
 
+    let board = fleet.board(b);
     let read_c_int = |name: &str| -> u16 {
         let phys = build.symbol_phys(name).expect("C global exists");
         u16::from_le_bytes([board.mem.read_phys(phys), board.mem.read_phys(phys + 1)])

@@ -1,0 +1,196 @@
+//! E15: fleet-scale serving — four RMC2000 boards in one deterministic
+//! `netsim` world behind a simulated TCP load balancer, together
+//! serving twenty-four concurrent secure + plaintext sessions from
+//! compiled-C guest firmware.
+//!
+//! Runs the workload under both execution engines, prints the
+//! EXPERIMENTS.md §E15 tables (aggregate throughput, per-board load),
+//! asserts engine byte-identity, and writes the machine-readable
+//! results to `BENCH_e15.json` in the current directory.
+//!
+//! Run: `cargo run --release --example board_fleet_serve`
+
+use std::time::Instant;
+
+use bench::Json;
+use rabbit::Engine;
+use rmc2000::nic::CYCLES_PER_US;
+use rmc2000::{fleet_serve, FleetRun, FleetSpec, GuestClient};
+
+const PSK: &[u8] = b"rmc2000 shared secret";
+const BOARDS: usize = 4;
+
+/// The E15 workload: 8 secure + 16 plaintext sessions over the fleet's
+/// 12 simultaneous handles. Plaintext payloads are ASCII so the
+/// guest's first-byte sniff never mistakes them for a ClientHello.
+fn workload() -> Vec<GuestClient> {
+    let mut clients = Vec::new();
+    for i in 0..8u8 {
+        let messages: Vec<Vec<u8>> = (0..2u8)
+            .map(|j| {
+                let len = 20 + 9 * usize::from(i) + 4 * usize::from(j);
+                (0..len).map(|k| (i ^ j).wrapping_add(k as u8)).collect()
+            })
+            .collect();
+        clients.push(GuestClient::Secure {
+            messages,
+            psk: PSK.to_vec(),
+            tamper: rmc2000::Tamper::None,
+        });
+    }
+    for i in 0..16u8 {
+        clients.push(GuestClient::Plain {
+            messages: vec![
+                format!("fleet session {i}").into_bytes(),
+                format!("second helping for session {i}").into_bytes(),
+            ],
+        });
+    }
+    clients
+}
+
+struct Measured {
+    name: &'static str,
+    run: FleetRun,
+    wall_ms: f64,
+}
+
+fn main() {
+    let clients = workload();
+    let sessions = clients.len();
+
+    let mut measured: Vec<Measured> = Vec::new();
+    for (name, engine) in [
+        ("interpreter", Engine::Interpreter),
+        ("block_cache", Engine::BlockCache),
+    ] {
+        let mut spec = FleetSpec::new(engine, BOARDS, PSK, clients.clone());
+        spec.probe_gap_us = Some(900);
+        let t0 = Instant::now();
+        let run = fleet_serve(&spec);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        for (i, out) in run.outcomes.iter().enumerate() {
+            assert!(out.established, "client {i} establishes");
+            assert_eq!(out.error, None, "client {i} clean");
+        }
+        let accepts: u16 = run.boards.iter().map(|b| b.accepts).sum();
+        assert_eq!(accepts as usize, sessions, "every session served");
+        for b in &run.boards {
+            assert_eq!(b.open, 0, "{} freed all handles", b.label);
+        }
+        measured.push(Measured { name, run, wall_ms });
+    }
+
+    let payload = measured[0].run.echoed_bytes;
+    println!(
+        "E15: {BOARDS} boards x 3 handles serving {sessions} mixed sessions \
+         ({payload} plaintext bytes echoed)\n"
+    );
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>13} {:>10}",
+        "engine", "fleet cycles", "virtual ms", "cycles/byte", "sessions/sec", "wall ms"
+    );
+    for m in &measured {
+        let r = &m.run;
+        let cycles: u64 = r.boards.iter().map(|b| b.cycles).sum();
+        println!(
+            "{:<12} {:>14} {:>12.2} {:>12.1} {:>13.1} {:>10.1}",
+            m.name,
+            cycles,
+            r.virtual_us as f64 / 1_000.0,
+            cycles as f64 / payload as f64,
+            sessions as f64 / (r.virtual_us as f64 / 1_000_000.0),
+            m.wall_ms,
+        );
+    }
+
+    let a = &measured[0].run;
+    let b = &measured[1].run;
+    let identical = a.outcomes == b.outcomes
+        && a.epochs == b.epochs
+        && a.virtual_us == b.virtual_us
+        && a.backends == b.backends
+        && a.snapshot == b.snapshot
+        && a.boards.len() == b.boards.len()
+        && a.boards.iter().zip(&b.boards).all(|(x, y)| {
+            x.cycles == y.cycles
+                && x.instructions == y.instructions
+                && x.conns == y.conns
+                && x.serial_tx == y.serial_tx
+        });
+    assert!(identical, "engines disagree on an observable");
+    println!("\nengines byte-identical: transcripts, cycles, console, telemetry \u{2713}");
+
+    println!(
+        "\n{:<12} {:>10} {:>14} {:>12} {:>8} {:>13}",
+        "board", "sessions", "cycles", "cycles/byte", "peak", "handles freed"
+    );
+    for (board, be) in a.boards.iter().zip(&a.backends) {
+        println!(
+            "{:<12} {:>10} {:>14} {:>12.1} {:>8} {:>13}",
+            board.label,
+            be.served,
+            board.cycles,
+            board.cycles as f64 / payload as f64,
+            be.peak_inflight,
+            if board.open == 0 { "yes" } else { "no" },
+        );
+    }
+
+    let json = render_json(sessions, payload, identical, &measured);
+    std::fs::write("BENCH_e15.json", &json).expect("write BENCH_e15.json");
+    println!("\nwrote BENCH_e15.json");
+}
+
+/// The E15 document on the shared bench emitter: the fleet header, one
+/// object per engine, and the per-board load table.
+fn render_json(sessions: usize, payload: u64, identical: bool, measured: &[Measured]) -> String {
+    let engines: Vec<Json> = measured
+        .iter()
+        .map(|m| {
+            let r = &m.run;
+            let cycles: u64 = r.boards.iter().map(|b| b.cycles).sum();
+            let instructions: u64 = r.boards.iter().map(|b| b.instructions).sum();
+            Json::obj()
+                .field("engine", m.name)
+                .field("fleet_cycles", cycles)
+                .field("fleet_instructions", instructions)
+                .field("epochs", r.epochs)
+                .field("virtual_us", r.virtual_us)
+                .field(
+                    "sessions_per_sec",
+                    Json::f64(sessions as f64 / (r.virtual_us as f64 / 1_000_000.0), 1),
+                )
+                .field("cycles_per_byte", Json::f64(cycles as f64 / payload as f64, 1))
+                .field("wall_clock_ms", Json::f64(m.wall_ms, 1))
+        })
+        .collect();
+    let a = &measured[0].run;
+    let boards: Vec<Json> = a
+        .boards
+        .iter()
+        .zip(&a.backends)
+        .map(|(board, be)| {
+            Json::obj()
+                .field("board", board.label.as_str())
+                .field("sessions_served", be.served)
+                .field("peak_inflight", be.peak_inflight)
+                .field("cycles", board.cycles)
+                .field(
+                    "cycles_per_byte",
+                    Json::f64(board.cycles as f64 / payload as f64, 1),
+                )
+        })
+        .collect();
+    Json::obj()
+        .field("experiment", "E15")
+        .field("clock_mhz", CYCLES_PER_US)
+        .field("boards", measured[0].run.boards.len())
+        .field("sessions", sessions)
+        .field("payload_bytes", payload)
+        .field("code_size", measured[0].run.code_size)
+        .field("engines_identical", identical)
+        .field("engines", engines)
+        .field("boards_detail", boards)
+        .render()
+}

@@ -12,6 +12,7 @@
 
 use std::time::Instant;
 
+use bench::Json;
 use rabbit::Engine;
 use rmc2000::nic::CYCLES_PER_US;
 use rmc2000::{secure_serve, GuestClient, SecureRun};
@@ -127,52 +128,56 @@ fn main() {
     println!("\nwrote BENCH_e14.json");
 }
 
-/// Hand-rolled JSON (the workspace deliberately carries no serde): the
-/// workload header, one object per engine, and the per-function table.
+/// The E14 document on the shared bench emitter: the workload header,
+/// one object per engine, and the per-function table.
 fn render_json(sessions: usize, payload: u64, identical: bool, measured: &[Measured]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str("  \"experiment\": \"E14\",\n");
-    s.push_str(&format!("  \"clock_mhz\": {CYCLES_PER_US},\n"));
-    s.push_str(&format!("  \"sessions\": {sessions},\n"));
-    s.push_str(&format!("  \"payload_bytes\": {payload},\n"));
-    s.push_str(&format!("  \"engines_identical\": {identical},\n"));
-    s.push_str("  \"engines\": [\n");
-    for (i, m) in measured.iter().enumerate() {
-        let r = &m.run;
-        s.push_str("    {\n");
-        s.push_str(&format!("      \"engine\": \"{}\",\n", m.name));
-        s.push_str(&format!("      \"guest_cycles\": {},\n", r.cycles));
-        s.push_str(&format!("      \"guest_instructions\": {},\n", r.instructions));
-        s.push_str(&format!("      \"virtual_us\": {},\n", r.virtual_us));
-        s.push_str(&format!(
-            "      \"sessions_per_sec\": {:.1},\n",
-            sessions as f64 / (r.virtual_us as f64 / 1_000_000.0)
-        ));
-        s.push_str(&format!(
-            "      \"cycles_per_byte\": {:.1},\n",
-            r.cycles as f64 / payload as f64
-        ));
-        s.push_str(&format!("      \"code_size\": {},\n", r.code_size));
-        let frac = r.profile.as_ref().map_or(0.0, |p| p.attributed_fraction());
-        s.push_str(&format!("      \"attributed_fraction\": {frac:.4},\n"));
-        s.push_str(&format!("      \"wall_clock_ms\": {:.1}\n", m.wall_ms));
-        s.push_str(if i + 1 < measured.len() { "    },\n" } else { "    }\n" });
-    }
-    s.push_str("  ],\n");
-    s.push_str("  \"functions\": [\n");
+    let engines: Vec<Json> = measured
+        .iter()
+        .map(|m| {
+            let r = &m.run;
+            Json::obj()
+                .field("engine", m.name)
+                .field("guest_cycles", r.cycles)
+                .field("guest_instructions", r.instructions)
+                .field("virtual_us", r.virtual_us)
+                .field(
+                    "sessions_per_sec",
+                    Json::f64(sessions as f64 / (r.virtual_us as f64 / 1_000_000.0), 1),
+                )
+                .field(
+                    "cycles_per_byte",
+                    Json::f64(r.cycles as f64 / payload as f64, 1),
+                )
+                .field("code_size", r.code_size)
+                .field(
+                    "attributed_fraction",
+                    Json::f64(r.profile.as_ref().map_or(0.0, |p| p.attributed_fraction()), 4),
+                )
+                .field("wall_clock_ms", Json::f64(m.wall_ms, 1))
+        })
+        .collect();
     let profile = measured[0].run.profile.as_ref().expect("profiled");
-    let rows: Vec<&telemetry::SymbolCycles> = profile.rows.iter().take(16).collect();
-    for (i, row) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"symbol\": \"{}\", \"cycles\": {}, \"cycles_per_byte\": {:.1}}}{}\n",
-            row.symbol,
-            row.cycles,
-            row.cycles as f64 / payload as f64,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n");
-    s.push_str("}\n");
-    s
+    let functions: Vec<Json> = profile
+        .rows
+        .iter()
+        .take(16)
+        .map(|row| {
+            Json::obj()
+                .field("symbol", row.symbol.as_str())
+                .field("cycles", row.cycles)
+                .field(
+                    "cycles_per_byte",
+                    Json::f64(row.cycles as f64 / payload as f64, 1),
+                )
+        })
+        .collect();
+    Json::obj()
+        .field("experiment", "E14")
+        .field("clock_mhz", CYCLES_PER_US)
+        .field("sessions", sessions)
+        .field("payload_bytes", payload)
+        .field("engines_identical", identical)
+        .field("engines", engines)
+        .field("functions", functions)
+        .render()
 }

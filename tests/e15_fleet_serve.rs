@@ -1,0 +1,145 @@
+//! E15: fleet-scale serving. Four boards — each a full Rabbit 2000
+//! running the compiled-C record layer with three NIC handles — sit in
+//! one deterministic `netsim` world behind a simulated TCP load
+//! balancer, and together serve twenty-four concurrent secure and
+//! plaintext sessions. The fleet scheduler owns world time; the boards
+//! advance in epoch lockstep; every observable is byte-identical
+//! across execution engines.
+
+use rabbit::Engine;
+use rmc2000::{fleet_serve, FleetRun, FleetSpec, GuestClient};
+
+const PSK: &[u8] = b"rmc2000 shared secret";
+const BOARDS: usize = 4;
+
+/// The E15 workload: 8 secure + 16 plaintext sessions — twice the
+/// fleet's 12 simultaneous handles, so the balancer's capacity
+/// hold-off is always in play. Plaintext payloads are ASCII so the
+/// guest's first-byte sniff never mistakes them for a ClientHello.
+fn mixed_workload() -> Vec<GuestClient> {
+    let mut clients = Vec::new();
+    for i in 0..8u8 {
+        let messages: Vec<Vec<u8>> = (0..2u8)
+            .map(|j| {
+                let len = 20 + 9 * usize::from(i) + 4 * usize::from(j);
+                (0..len).map(|k| (i ^ j).wrapping_add(k as u8)).collect()
+            })
+            .collect();
+        clients.push(GuestClient::Secure {
+            messages,
+            psk: PSK.to_vec(),
+            tamper: rmc2000::Tamper::None,
+        });
+    }
+    for i in 0..16u8 {
+        clients.push(GuestClient::Plain {
+            messages: vec![
+                format!("fleet session {i}").into_bytes(),
+                format!("second helping for session {i}").into_bytes(),
+            ],
+        });
+    }
+    clients
+}
+
+fn expected_echo(client: &GuestClient) -> Vec<u8> {
+    match client {
+        GuestClient::Secure { messages, .. } | GuestClient::Plain { messages } => {
+            messages.concat()
+        }
+        _ => unreachable!("E15 workload is secure + plain only"),
+    }
+}
+
+fn run(engine: Engine) -> FleetRun {
+    let mut spec = FleetSpec::new(engine, BOARDS, PSK, mixed_workload());
+    spec.probe_gap_us = Some(900);
+    fleet_serve(&spec)
+}
+
+/// The headline E15 claim: four boards behind the balancer serve all
+/// twenty-four mixed sessions to completion, with every handle freed
+/// and every plaintext byte echoed.
+#[test]
+fn four_boards_serve_twenty_four_mixed_sessions() {
+    let clients = mixed_workload();
+    let run = run(Engine::BlockCache);
+
+    assert_eq!(run.outcomes.len(), 24);
+    for (i, (out, client)) in run.outcomes.iter().zip(&clients).enumerate() {
+        assert!(out.established, "client {i} establishes");
+        assert_eq!(out.error, None, "client {i} clean");
+        assert_eq!(out.echoed, expected_echo(client), "client {i} echo");
+    }
+
+    assert_eq!(run.boards.len(), BOARDS);
+    let accepts: u16 = run.boards.iter().map(|b| b.accepts).sum();
+    assert_eq!(accepts, 24, "every session landed on some board");
+    for b in &run.boards {
+        assert!(b.accepts > 0, "{} sat idle", b.label);
+        assert_eq!(b.open, 0, "{} freed all handles", b.label);
+    }
+
+    // Exactly one secure handshake per secure session, fleet-wide.
+    let handshakes: u32 = run
+        .boards
+        .iter()
+        .flat_map(|b| &b.conns)
+        .map(|c| u32::from(c.handshakes))
+        .sum();
+    assert_eq!(handshakes, 8);
+
+    // The balancer held every board at its three-handle capacity at
+    // some point (24 eager clients over 12 handles) and never marked
+    // one dead or failed a connect.
+    for (i, be) in run.backends.iter().enumerate() {
+        assert_eq!(be.peak_inflight, 3, "backend {i} saturated");
+        assert_eq!(be.inflight, 0, "backend {i} drained");
+        assert_eq!(be.failures, 0, "backend {i} healthy");
+        assert!(!be.dead, "backend {i} alive");
+    }
+    let served: u64 = run.backends.iter().map(|b| b.served).sum();
+    assert_eq!(served, 24);
+}
+
+/// Telemetry is namespaced per board: each board publishes its own
+/// `board<i>.`-prefixed NIC and guest counters into the one registry.
+#[test]
+fn telemetry_is_namespaced_per_board() {
+    let run = run(Engine::BlockCache);
+    for i in 0..BOARDS {
+        assert!(
+            run.snapshot.contains(&format!("board{i}.net.board.conn.accepts")),
+            "board{i} NIC counters missing from snapshot"
+        );
+        assert!(
+            run.snapshot.contains(&format!("board{i}.issl.guest.handshakes")),
+            "board{i} guest counters missing from snapshot"
+        );
+    }
+    assert!(run.snapshot.contains("lb.accepts"), "balancer books present");
+}
+
+/// The fleet determinism bar, engine edition: the full 4-board × 24
+/// session run — client transcripts, per-board cycle and instruction
+/// counts, console bytes, balancer books, telemetry, virtual time — is
+/// byte-identical between the interpreter and the block-cache engine.
+#[test]
+fn engines_agree_on_the_whole_fleet() {
+    let a = run(Engine::Interpreter);
+    let b = run(Engine::BlockCache);
+
+    assert_eq!(a.outcomes, b.outcomes, "client transcripts agree");
+    assert_eq!(a.epochs, b.epochs, "epoch counts agree");
+    assert_eq!(a.virtual_us, b.virtual_us, "virtual time agrees");
+    assert_eq!(a.echoed_bytes, b.echoed_bytes);
+    assert_eq!(a.backends, b.backends, "balancer books agree");
+    assert_eq!(a.snapshot, b.snapshot, "telemetry snapshots agree");
+    for (x, y) in a.boards.iter().zip(&b.boards) {
+        assert_eq!(x.cycles, y.cycles, "{} cycles agree", x.label);
+        assert_eq!(x.instructions, y.instructions, "{} instructions agree", x.label);
+        assert_eq!(x.accepts, y.accepts);
+        assert_eq!(x.conns, y.conns, "{} guest counters agree", x.label);
+        assert_eq!(x.serial_tx, y.serial_tx, "{} console agrees", x.label);
+    }
+}
