@@ -1,0 +1,137 @@
+//! Link-layer fault primitives: scripted frame corruption.
+//!
+//! The world already models *loss* (per-link `drop_rate`, decided by a
+//! per-link deterministic RNG). This module adds the second hostile
+//! wire behaviour the paper's service has to survive: *corruption* —
+//! byte flips on in-flight TCP payloads, the storms a failing switch or
+//! a noisy 10Base-T segment produces. A [`Corruption`] spec is armed on
+//! a link via [`crate::World::set_corruption`] and applied inside the
+//! wire model, so neither endpoint's stack is involved: the receiver
+//! ACKs the mangled segment like any other (our frames carry no
+//! checksum — the corruption model is exactly the class of damage a TCP
+//! checksum misses), and it is the *application* layer above (the issl
+//! record MAC) that must detect the damage and answer with its
+//! deterministic close alert.
+//!
+//! Determinism: every probability draw comes from a per-link fault RNG
+//! seeded from the world seed and the link id — a stream separate from
+//! the link's drop RNG, so arming or disarming corruption never shifts
+//! the loss pattern, and the same plan replays byte-identically.
+
+/// Identifies one link of a [`crate::World`], as returned by
+/// [`crate::World::link`]. Fault scripting (drop-rate flips, corruption
+/// storms) addresses links by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) usize);
+
+impl LinkId {
+    /// The link's index in creation order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A frame-corruption spec for one link: which TCP payloads to damage,
+/// with what probability, and how.
+///
+/// Only TCP *payload* bytes are touched — flags, sequence numbers and
+/// ports stay intact, so the transport machinery keeps working and the
+/// damage surfaces exactly where a checksum-evading bit flip would: in
+/// the application byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corruption {
+    /// Probability a matching frame is corrupted (1.0 = every frame).
+    /// The per-link fault RNG is consulted once per matching frame
+    /// whether or not the draw hits, so transcripts are invariant to
+    /// the probability's value pattern across runs with the same seed.
+    pub prob: f64,
+    /// XOR mask applied to the chosen payload byte. Must be non-zero to
+    /// have any effect.
+    pub mask: u8,
+    /// Which byte to flip: `Some(k)` flips the byte `k` from the end of
+    /// the payload (`Some(1)` = last byte — where a record MAC's final
+    /// byte lives); `None` flips the first byte.
+    pub from_end: Option<usize>,
+    /// Only corrupt frames whose payload starts with this byte — e.g.
+    /// `recmap::REC_DATA` to storm data records while letting
+    /// handshake records and plaintext sessions through unharmed.
+    /// `None` matches every non-empty payload.
+    pub first_byte: Option<u8>,
+}
+
+impl Corruption {
+    /// A storm that flips the last payload byte (a record MAC's final
+    /// byte) of every frame whose payload starts with `first_byte`.
+    #[must_use]
+    pub fn mac_storm(first_byte: u8) -> Corruption {
+        Corruption {
+            prob: 1.0,
+            mask: 0x01,
+            from_end: Some(1),
+            first_byte: Some(first_byte),
+        }
+    }
+
+    /// Whether this spec matches `payload` (non-empty and first-byte
+    /// filter passes).
+    #[must_use]
+    pub fn matches(&self, payload: &[u8]) -> bool {
+        !payload.is_empty() && self.first_byte.is_none_or(|b| payload[0] == b)
+    }
+
+    /// Applies the byte flip to `payload` in place. No-op on an empty
+    /// payload or an out-of-range `from_end`.
+    pub fn apply(&self, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let idx = match self.from_end {
+            Some(k) if k >= 1 && k <= payload.len() => payload.len() - k,
+            Some(_) => return,
+            None => 0,
+        };
+        payload[idx] ^= self.mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_the_addressed_byte() {
+        let c = Corruption {
+            prob: 1.0,
+            mask: 0x80,
+            from_end: Some(1),
+            first_byte: Some(5),
+        };
+        let mut p = vec![5, 0, 3, 0xAA];
+        assert!(c.matches(&p));
+        c.apply(&mut p);
+        assert_eq!(p, vec![5, 0, 3, 0x2A]);
+
+        let mut q = vec![4, 0, 3, 0xAA];
+        assert!(!c.matches(&q), "first-byte filter");
+        let head = Corruption {
+            from_end: None,
+            ..c.clone()
+        };
+        head.apply(&mut q);
+        assert_eq!(q, vec![0x84, 0, 3, 0xAA]);
+    }
+
+    #[test]
+    fn out_of_range_from_end_is_a_no_op() {
+        let c = Corruption {
+            prob: 1.0,
+            mask: 0xFF,
+            from_end: Some(9),
+            first_byte: None,
+        };
+        let mut p = vec![1, 2];
+        c.apply(&mut p);
+        assert_eq!(p, vec![1, 2]);
+    }
+}

@@ -45,8 +45,15 @@ pub struct BackendStats {
     pub served: u64,
     /// Connect attempts that timed out or were reset.
     pub failures: u64,
+    /// Established sessions torn down for making no progress past the
+    /// stall timeout ([`LoadBalancer::set_stall_timeout_us`]).
+    pub stalls: u64,
+    /// Times a dead-marked backend came back: a probe connect
+    /// established and routing resumed.
+    pub revivals: u64,
     /// Marked unhealthy: skipped by routing while any healthy backend
-    /// remains.
+    /// remains (until a [`LoadBalancer::set_retry_after_us`] probe
+    /// succeeds).
     pub dead: bool,
 }
 
@@ -56,7 +63,12 @@ struct Backend {
     peak_inflight: usize,
     served: u64,
     failures: u64,
+    stalls: u64,
+    revivals: u64,
     dead: bool,
+    /// When the backend was (last) marked dead, or the last probe was
+    /// dispatched — the reference point for the retry clock.
+    dead_since_us: u64,
 }
 
 impl Backend {
@@ -84,6 +96,12 @@ struct Session {
     up_closed: bool,
     /// FIN propagated to the client (upstream side drained + closed).
     down_closed: bool,
+    /// The upstream connect has been observed established (used to
+    /// detect the establishment edge for revival bookkeeping).
+    up_established: bool,
+    /// Last virtual time any byte or FIN moved through this session —
+    /// the stall-timeout reference point.
+    last_progress_us: u64,
 }
 
 /// The `lb.*` counters the balancer reports.
@@ -101,6 +119,12 @@ pub struct LbCounters {
     pub unrouted: Counter,
     /// Sessions completed (both directions closed).
     pub closed: Counter,
+    /// Backends transitioned healthy → dead.
+    pub dead_marks: Counter,
+    /// Dead backends brought back by a successful probe connect.
+    pub revivals: Counter,
+    /// Established sessions torn down by the stall timeout.
+    pub stalls: Counter,
 }
 
 impl LbCounters {
@@ -112,6 +136,9 @@ impl LbCounters {
             failovers: registry.counter("lb.failovers", &[]),
             unrouted: registry.counter("lb.unrouted", &[]),
             closed: registry.counter("lb.closed", &[]),
+            dead_marks: registry.counter("lb.dead_marks", &[]),
+            revivals: registry.counter("lb.revivals", &[]),
+            stalls: registry.counter("lb.stalls", &[]),
         }
     }
 }
@@ -133,10 +160,25 @@ pub struct LoadBalancer {
     /// Per-backend session cap for new routings; a backend at the cap is
     /// held off until one of its sessions finishes.
     max_inflight: Option<usize>,
+    /// Virtual µs after dead-marking before a dead backend is offered
+    /// one probe connection again; `None` (the default) keeps the
+    /// legacy behaviour: dead stays dead for the run.
+    retry_after_us: Option<u64>,
+    /// Virtual µs an established session may sit with no bytes moving
+    /// before it is torn down and its backend dead-marked; `None` (the
+    /// default) never stalls a session out.
+    stall_timeout_us: Option<u64>,
     rr_next: usize,
     counters: LbCounters,
     /// Per-backend `lb.backend.served{backend="i"}` counters.
     backend_served: Vec<Counter>,
+    /// Per-backend `lb.backend.failures{backend="i"}` counters.
+    backend_failures: Vec<Counter>,
+    /// Per-backend `lb.backend.revivals{backend="i"}` counters.
+    backend_revivals: Vec<Counter>,
+    /// Virtual µs each failed upstream connect sat before the balancer
+    /// gave up on it (the failover-latency book), in failure order.
+    failover_latency_us: Vec<u64>,
 }
 
 impl LoadBalancer {
@@ -164,9 +206,14 @@ impl LoadBalancer {
             sessions: Vec::new(),
             waiting: std::collections::VecDeque::new(),
             max_inflight: None,
+            retry_after_us: None,
+            stall_timeout_us: None,
             rr_next: 0,
             counters,
             backend_served: Vec::new(),
+            backend_failures: Vec::new(),
+            backend_revivals: Vec::new(),
+            failover_latency_us: Vec::new(),
         }
     }
 
@@ -177,24 +224,60 @@ impl LoadBalancer {
         self.max_inflight = cap;
     }
 
+    /// Lets a dead-marked backend be re-probed: once `Some(gap)` µs
+    /// have passed since the dead mark (or the previous probe), routing
+    /// offers the backend one probe connection; if it establishes, the
+    /// backend is un-dead-marked (a *revival*) and rejoins the pool.
+    /// `None` (the default) keeps the legacy contract — dead stays dead
+    /// for the rest of the run.
+    pub fn set_retry_after_us(&mut self, gap: Option<u64>) {
+        self.retry_after_us = gap;
+    }
+
+    /// Arms the established-session stall timeout: a session with no
+    /// bytes or FINs moving for `Some(gap)` µs is aborted on both sides
+    /// and its backend dead-marked — the only way sessions pinned to a
+    /// wedged board (whose TCP stack still answers, but whose firmware
+    /// never will) ever resolve. Must exceed the longest legitimate
+    /// guest compute gap. `None` (the default) never times a session
+    /// out.
+    pub fn set_stall_timeout_us(&mut self, gap: Option<u64>) {
+        self.stall_timeout_us = gap;
+    }
+
+    /// The failover-latency book: virtual µs each failed upstream
+    /// connect waited before the balancer gave up and moved the session
+    /// on, in failure order.
+    pub fn failover_latencies_us(&self) -> &[u64] {
+        &self.failover_latency_us
+    }
+
     /// Registers a backend listener. Returns its index.
     pub fn add_backend(&mut self, addr: Endpoint) -> usize {
         let idx = self.backends.len();
         let label = idx.to_string();
-        self.backend_served.push(
-            self.host
-                .world()
-                .borrow()
-                .telemetry()
-                .counter("lb.backend.served", &[("backend", label.as_str())]),
-        );
+        {
+            let world = self.host.world();
+            let w = world.borrow();
+            let reg = w.telemetry();
+            let labels = [("backend", label.as_str())];
+            self.backend_served
+                .push(reg.counter("lb.backend.served", &labels));
+            self.backend_failures
+                .push(reg.counter("lb.backend.failures", &labels));
+            self.backend_revivals
+                .push(reg.counter("lb.backend.revivals", &labels));
+        }
         self.backends.push(Backend {
             addr,
             inflight: 0,
             peak_inflight: 0,
             served: 0,
             failures: 0,
+            stalls: 0,
+            revivals: 0,
             dead: false,
+            dead_since_us: 0,
         });
         idx
     }
@@ -229,6 +312,8 @@ impl LoadBalancer {
                 peak_inflight: b.peak_inflight,
                 served: b.served,
                 failures: b.failures,
+                stalls: b.stalls,
+                revivals: b.revivals,
                 dead: b.dead,
             })
             .collect()
@@ -243,11 +328,19 @@ impl LoadBalancer {
     /// re-picks ignore the cap: a session mid-flight beats strict
     /// capacity. `None` without the cap only when `tried` exhausts the
     /// set.
-    fn pick(&mut self, tried: &[usize], respect_cap: bool) -> Option<usize> {
+    ///
+    /// With [`LoadBalancer::set_retry_after_us`], a dead backend whose
+    /// retry clock has expired counts as healthy for one probe pick;
+    /// picking it resets the clock so concurrent arrivals don't gang up
+    /// on a backend that may still be down.
+    fn pick(&mut self, tried: &[usize], respect_cap: bool, now: u64) -> Option<usize> {
         let cap = if respect_cap { self.max_inflight } else { None };
+        let retry = self.retry_after_us;
         let eligible = |dead_ok: bool, i: usize, b: &Backend| -> bool {
+            let probe_due = b.dead
+                && retry.is_some_and(|gap| now.saturating_sub(b.dead_since_us) >= gap);
             !tried.contains(&i)
-                && (dead_ok || !b.dead)
+                && (dead_ok || !b.dead || probe_due)
                 && cap.is_none_or(|m| b.inflight < m)
         };
         for dead_ok in [false, true] {
@@ -266,6 +359,10 @@ impl LoadBalancer {
             if let Some(i) = chosen {
                 if self.policy == LbPolicy::RoundRobin {
                     self.rr_next = (i + 1) % self.backends.len();
+                }
+                if self.backends[i].dead {
+                    // A probe pick: restart the retry clock.
+                    self.backends[i].dead_since_us = now;
                 }
                 return Some(i);
             }
@@ -290,7 +387,7 @@ impl LoadBalancer {
             self.waiting.push_back(client);
         }
         while let Some(&client) = self.waiting.front() {
-            let Some(backend) = self.pick(&[], true) else {
+            let Some(backend) = self.pick(&[], true, now) else {
                 break; // every backend at its handle cap — hold off
             };
             self.waiting.pop_front();
@@ -306,6 +403,8 @@ impl LoadBalancer {
                 down: Vec::new(),
                 up_closed: false,
                 down_closed: false,
+                up_established: false,
+                last_progress_us: now,
             });
         }
 
@@ -323,12 +422,19 @@ impl LoadBalancer {
                 let reset = self.host.world().borrow().tcp_reset(s.upstream);
                 if timed_out || reset {
                     self.host.abort(s.upstream);
+                    self.failover_latency_us
+                        .push(now.saturating_sub(s.connect_started_us));
                     let b = &mut self.backends[s.backend];
                     b.inflight -= 1;
                     b.failures += 1;
-                    b.dead = true;
+                    self.backend_failures[s.backend].inc();
+                    if !b.dead {
+                        b.dead = true;
+                        self.counters.dead_marks.inc();
+                    }
+                    b.dead_since_us = now;
                     s.tried.push(s.backend);
-                    match self.pick(&s.tried, false) {
+                    match self.pick(&s.tried, false, now) {
                         Some(next) => {
                             self.counters.failovers.inc();
                             s.backend = next;
@@ -349,16 +455,34 @@ impl LoadBalancer {
                 }
             }
 
+            // The upstream just came up. If its backend was dead-marked
+            // this is the probe succeeding: un-dead-mark and let routing
+            // resume (a revival). Only the establishment edge counts —
+            // old sessions riding out a flap must not revive a backend
+            // their own connect never re-proved.
+            if !s.up_established && self.host.established(s.upstream) {
+                s.up_established = true;
+                s.last_progress_us = now;
+                let b = &mut self.backends[s.backend];
+                if b.dead {
+                    b.dead = false;
+                    b.revivals += 1;
+                    self.backend_revivals[s.backend].inc();
+                    self.counters.revivals.inc();
+                }
+            }
+
             // Shuttle bytes, each direction: drain the source socket into
             // the session buffer, then push as much as the sink accepts.
-            shuttle(
+            let mut moved = 0usize;
+            moved += shuttle(
                 &mut self.host,
                 s.client,
                 s.upstream,
                 &mut s.up,
                 &self.counters.up_bytes,
             );
-            shuttle(
+            moved += shuttle(
                 &mut self.host,
                 s.upstream,
                 s.client,
@@ -370,10 +494,40 @@ impl LoadBalancer {
             if !s.up_closed && s.up.is_empty() && side_closed(&mut self.host, s.client) {
                 self.host.close(s.upstream);
                 s.up_closed = true;
+                moved += 1;
             }
             if !s.down_closed && s.down.is_empty() && side_closed(&mut self.host, s.upstream) {
                 self.host.close(s.client);
                 s.down_closed = true;
+                moved += 1;
+            }
+            if moved > 0 {
+                s.last_progress_us = now;
+            }
+
+            // Stall timeout: an established session with nothing moving
+            // for the whole window is pinned to a backend that will
+            // never answer (a wedged board's TCP stack accepts and then
+            // goes silent). Tear it down on both sides and dead-mark the
+            // backend so new routings steer clear.
+            if let Some(gap) = self.stall_timeout_us {
+                if !(s.up_closed && s.down_closed)
+                    && now.saturating_sub(s.last_progress_us) >= gap
+                {
+                    self.host.abort(s.upstream);
+                    self.host.abort(s.client);
+                    let b = &mut self.backends[s.backend];
+                    b.inflight -= 1;
+                    b.stalls += 1;
+                    self.counters.stalls.inc();
+                    if !b.dead {
+                        b.dead = true;
+                        self.counters.dead_marks.inc();
+                    }
+                    b.dead_since_us = now;
+                    finished.push(si);
+                    continue;
+                }
             }
             if s.up_closed && s.down_closed {
                 let b = &mut self.backends[s.backend];
@@ -401,13 +555,25 @@ fn side_closed(host: &mut SimHost, sock: SocketId) -> bool {
 
 /// Moves bytes `from` → `to` through `buf`, respecting the sink's send
 /// room; the buffer carries what the sink rejected to the next pump.
-fn shuttle(host: &mut SimHost, from: SocketId, to: SocketId, buf: &mut Vec<u8>, bytes: &Counter) {
+/// Returns how many bytes moved (drained from the source plus accepted
+/// by the sink) — the session's progress measure.
+fn shuttle(
+    host: &mut SimHost,
+    from: SocketId,
+    to: SocketId,
+    buf: &mut Vec<u8>,
+    bytes: &Counter,
+) -> usize {
+    let mut moved = 0usize;
     let avail = host.available(from);
     if avail > 0 {
         let start = buf.len();
         buf.resize(start + avail, 0);
         match host.recv(from, &mut buf[start..]) {
-            Recv::Data(n) => buf.truncate(start + n),
+            Recv::Data(n) => {
+                buf.truncate(start + n);
+                moved += n;
+            }
             _ => buf.truncate(start),
         }
     }
@@ -417,8 +583,10 @@ fn shuttle(host: &mut SimHost, from: SocketId, to: SocketId, buf: &mut Vec<u8>, 
             let sent = host.send(to, &buf[..room]);
             bytes.add(sent as u64);
             buf.drain(..sent);
+            moved += sent;
         }
     }
+    moved
 }
 
 impl std::fmt::Debug for LoadBalancer {

@@ -37,6 +37,7 @@
 
 pub mod addr;
 pub mod attach;
+pub mod fault;
 pub mod lb;
 pub mod packet;
 pub mod tcp;
@@ -44,6 +45,7 @@ pub mod world;
 
 pub use addr::{htonl, htons, ntohl, ntohs, Endpoint, Ipv4};
 pub use attach::SimHost;
+pub use fault::{Corruption, LinkId};
 pub use lb::{BackendStats, LbCounters, LbPolicy, LoadBalancer, CONNECT_TIMEOUT_US};
 pub use packet::{IcmpEcho, Packet, TcpFlags, TcpSegment, Transport, UdpDatagram};
 pub use tcp::{HostId, SocketId, TcpState, MSS, RECV_WINDOW, SEND_BUFFER};

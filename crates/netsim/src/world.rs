@@ -8,6 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::addr::{Endpoint, Ipv4};
+use crate::fault::{Corruption, LinkId};
 use crate::packet::{IcmpEcho, Packet, TcpFlags, TcpSegment, Transport, UdpDatagram};
 use crate::tcp::{
     HostId, SocketId, TcpSocket, TcpState, INITIAL_RTO_US, MAX_RTO_US, MSS, RECV_WINDOW,
@@ -75,6 +76,12 @@ struct Link {
     params: LinkParams,
     busy_until: u64,
     rng: StdRng,
+    /// RNG for fault decisions (corruption draws) — a stream separate
+    /// from the drop RNG, seeded from the world seed and the link id,
+    /// so arming a fault never shifts the loss pattern.
+    fault_rng: StdRng,
+    /// Armed frame-corruption spec, if any (see [`crate::fault`]).
+    corrupt: Option<Corruption>,
 }
 
 #[derive(Debug)]
@@ -193,6 +200,9 @@ pub struct Stats {
     pub delivered: telemetry::Counter,
     /// Packets lost on a link (`net.packets.dropped`).
     pub dropped: telemetry::Counter,
+    /// TCP payloads damaged by scripted link corruption
+    /// (`net.packets.corrupted`).
+    pub corrupted: telemetry::Counter,
     /// TCP retransmissions sent (`net.tcp.retransmits`).
     pub retransmits: telemetry::Counter,
     /// Packets with no route to their destination
@@ -210,6 +220,7 @@ impl Stats {
         Stats {
             delivered: registry.counter("net.packets.delivered", &[]),
             dropped: registry.counter("net.packets.dropped", &[]),
+            corrupted: registry.counter("net.packets.corrupted", &[]),
             retransmits: registry.counter("net.tcp.retransmits", &[]),
             unroutable: registry.counter("net.packets.unroutable", &[]),
             tcp_bytes_delivered: registry.counter("net.tcp.bytes_delivered", &[]),
@@ -426,16 +437,61 @@ impl World {
         &self.hosts[host.0].name
     }
 
-    /// Connects two hosts with a bidirectional link.
-    pub fn link(&mut self, a: HostId, b: HostId, params: LinkParams) {
-        let rng = StdRng::seed_from_u64(self.seed ^ (self.links.len() as u64) << 17);
+    /// Connects two hosts with a bidirectional link. The returned
+    /// [`LinkId`] addresses the link for fault scripting
+    /// ([`World::set_drop_rate`], [`World::set_corruption`]).
+    pub fn link(&mut self, a: HostId, b: HostId, params: LinkParams) -> LinkId {
+        let id = self.links.len();
+        let rng = StdRng::seed_from_u64(self.seed ^ (id as u64) << 17);
+        // The fault stream is keyed off the same (seed, link id) pair
+        // but offset by a golden-ratio constant: reproducible
+        // run-to-run, yet never aliasing the drop stream.
+        let fault_rng =
+            StdRng::seed_from_u64(self.seed ^ ((id as u64) << 17) ^ 0x9E37_79B9_7F4A_7C15);
         self.links.push(Link {
             a,
             b,
             params,
             busy_until: 0,
             rng,
+            fault_rng,
+            corrupt: None,
         });
+        LinkId(id)
+    }
+
+    /// The link joining hosts `a` and `b` (either orientation), if one
+    /// exists.
+    pub fn link_between(&self, a: HostId, b: HostId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .position(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+            .map(LinkId)
+    }
+
+    /// Rewrites a link's drop rate in place — the mid-session flap the
+    /// static `LinkParams::with_drop_rate` cannot express. Latency and
+    /// bandwidth are untouched; the link's drop RNG stream continues
+    /// where it was, so a flap-and-restore replays byte-identically
+    /// for a given world seed.
+    pub fn set_drop_rate(&mut self, link: LinkId, rate: f64) {
+        self.links[link.0].params.drop_rate = rate;
+    }
+
+    /// A link's current drop rate.
+    #[must_use]
+    pub fn drop_rate(&self, link: LinkId) -> f64 {
+        self.links[link.0].params.drop_rate
+    }
+
+    /// Arms (or with `None` disarms) frame corruption on a link. While
+    /// armed, every matching in-flight TCP payload consults the link's
+    /// dedicated fault RNG and may have one byte flipped per
+    /// [`Corruption`]; corrupted frames still deliver and are ACKed —
+    /// the damage is the kind a TCP checksum misses, so only the
+    /// application layer can catch it.
+    pub fn set_corruption(&mut self, link: LinkId, spec: Option<Corruption>) {
+        self.links[link.0].corrupt = spec;
     }
 
     fn schedule(&mut self, time: u64, event: Event) {
@@ -541,10 +597,27 @@ impl World {
         l.busy_until = start + tx_us;
         let arrival = l.busy_until + l.params.latency_us;
         let dropped = l.params.drop_rate > 0.0 && l.rng.gen::<f64>() < l.params.drop_rate;
+        let mut packet = packet;
+        let mut corrupted = false;
+        if !dropped {
+            // Scripted frame corruption: damage the in-flight copy only
+            // (a retransmission re-reads the sender's clean buffer), and
+            // only TCP payload bytes — the transport machinery keeps
+            // working, the application stream carries the flip.
+            if let (Some(spec), Transport::Tcp(ref mut seg)) = (&l.corrupt, &mut packet.body) {
+                if spec.matches(&seg.payload) && l.fault_rng.gen::<f64>() < spec.prob {
+                    spec.apply(&mut seg.payload);
+                    corrupted = true;
+                }
+            }
+        }
         self.record_trace(&packet, dropped);
         if dropped {
             self.stats.dropped.inc();
             return;
+        }
+        if corrupted {
+            self.stats.corrupted.inc();
         }
         self.schedule(
             arrival,

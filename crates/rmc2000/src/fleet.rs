@@ -55,11 +55,12 @@ use std::rc::Rc;
 use rabbit::nicmap::MAX_CONNS;
 use rabbit::{Engine, IoSpace};
 
-use netsim::{Endpoint, Ipv4, LinkParams, LoadBalancer, SimHost, SocketId, World};
+use netsim::{Endpoint, Ipv4, LinkId, LinkParams, LoadBalancer, SimHost, SocketId, World};
 
 pub use netsim::{BackendStats, LbPolicy};
 
 use crate::board::{Board, RunOutcome};
+use crate::faults::{AppliedFault, FaultEvent, FaultPlan, FaultReport, ScheduledFault};
 use crate::nic::{Nic, CYCLES_PER_US, POLL_PERIOD_US};
 use crate::secure::{
     build_secure_firmware, client_states, step_client, ClientOutcome, ConnCounters, GuestClient,
@@ -74,6 +75,21 @@ pub const EPOCH_US: u64 = POLL_PERIOD_US;
 /// One scheduling epoch in CPU cycles.
 pub const EPOCH_CYCLES: u64 = EPOCH_US * CYCLES_PER_US;
 
+/// Whether a fleet slot is advancing or frozen by a scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoardState {
+    /// Advancing normally: every epoch brings the board to the barrier.
+    Running,
+    /// Wedged by a [`crate::faults::FaultEvent::Wedge`]: the scheduler
+    /// skips the slot — no cycles run, no idle time accrues, telemetry
+    /// freezes — until a resurrection (if any). The board's netsim
+    /// *host* still exists; whoever wedged the board is responsible for
+    /// also blacking out its link, because the host-side TCP stack
+    /// would otherwise keep answering SYNs on the frozen board's
+    /// behalf.
+    Wedged,
+}
+
 struct Slot {
     board: Board,
     host: SimHost,
@@ -81,6 +97,7 @@ struct Slot {
     /// overshoot (a board cannot stop mid-instruction) carries forward:
     /// the next epoch's slice is that much shorter.
     target: u64,
+    state: BoardState,
 }
 
 /// A set of boards sharing one [`World`], advanced in deterministic
@@ -141,6 +158,7 @@ impl Fleet {
             board,
             host,
             target: 0,
+            state: BoardState::Running,
         });
         0
     }
@@ -163,6 +181,7 @@ impl Fleet {
             board,
             host,
             target: 0,
+            state: BoardState::Running,
         });
         idx
     }
@@ -188,10 +207,46 @@ impl Fleet {
     }
 
     /// Whether board `i` is parked: halted with no dispatchable
-    /// interrupt, i.e. nothing to do until a peripheral deadline.
+    /// interrupt, i.e. nothing to do until a peripheral deadline. A
+    /// wedged board counts as parked — it contributes nothing until
+    /// resurrected, and must not block fleet-wide fast-forward.
     pub fn parked(&mut self, i: usize) -> bool {
         let s = &mut self.slots[i];
-        s.board.cpu.halted && s.board.bus.pending_interrupt().is_none()
+        s.state == BoardState::Wedged
+            || (s.board.cpu.halted && s.board.bus.pending_interrupt().is_none())
+    }
+
+    /// Board `i`'s fault state.
+    pub fn state(&self, i: usize) -> BoardState {
+        self.slots[i].state
+    }
+
+    /// Wedges board `i`: from the next epoch on, the scheduler skips
+    /// the slot entirely — no cycles, no idle time, frozen telemetry.
+    /// The caller must also black out the board's link (the host-side
+    /// TCP stack would otherwise answer SYNs for the frozen board); the
+    /// fleet fault driver does both.
+    ///
+    /// # Panics
+    ///
+    /// If called on a solo fleet.
+    pub fn wedge(&mut self, i: usize) {
+        assert!(!self.solo, "faults drive multi-board fleets");
+        self.slots[i].state = BoardState::Wedged;
+    }
+
+    /// Resurrects a wedged board. Lost time is lost: the cycle target
+    /// snaps to the board's frozen cycle count, so the board resumes
+    /// from where it stopped instead of replaying the missed epochs.
+    ///
+    /// # Panics
+    ///
+    /// If called on a solo fleet.
+    pub fn resurrect(&mut self, i: usize) {
+        assert!(!self.solo, "faults drive multi-board fleets");
+        let s = &mut self.slots[i];
+        s.state = BoardState::Running;
+        s.target = s.board.cpu.cycles;
     }
 
     /// Whether every board is parked.
@@ -258,9 +313,14 @@ impl Fleet {
     }
 
     /// Brings board `i` up to its epoch-end cycle target, mixing
-    /// execution and batched halted time.
+    /// execution and batched halted time. A wedged slot is skipped
+    /// outright: its target does not advance, so no catch-up debt
+    /// accrues while frozen.
     fn advance_slot(&mut self, i: usize) {
         let slot = &mut self.slots[i];
+        if slot.state == BoardState::Wedged {
+            return;
+        }
         slot.target += EPOCH_CYCLES;
         while slot.board.cpu.cycles < slot.target {
             let left = slot.target - slot.board.cpu.cycles;
@@ -304,6 +364,9 @@ impl Fleet {
             }
         }
         for s in &mut self.slots {
+            if s.state == BoardState::Wedged {
+                continue; // frozen: no deadlines, no idle time
+            }
             if let Some(d) = s.board.bus.next_deadline() {
                 k = k.min(d / EPOCH_CYCLES);
             }
@@ -313,6 +376,9 @@ impl Fleet {
         }
         self.world.borrow_mut().run_for(k * EPOCH_US);
         for s in &mut self.slots {
+            if s.state == BoardState::Wedged {
+                continue;
+            }
             s.target += k * EPOCH_CYCLES;
             let left = s.target.saturating_sub(s.board.cpu.cycles);
             if left > 0 {
@@ -362,6 +428,24 @@ pub struct FleetSpec {
     /// Per-epoch board visit orders, cycled; empty means index order.
     /// Any sequence of permutations yields identical observables.
     pub orders: Vec<Vec<usize>>,
+    /// Scripted faults (flaps, wedges, storms) applied at epoch
+    /// boundaries; empty means a fault-free run.
+    pub faults: FaultPlan,
+    /// Per-client dial times in absolute virtual µs (same order as
+    /// `clients`); a client whose time falls inside boot dials right
+    /// after boot. Empty means everyone dials as soon as the fleet is
+    /// up — the legacy shape.
+    pub dials: Vec<u64>,
+    /// Balancer dead-backend re-probe gap
+    /// ([`LoadBalancer::set_retry_after_us`]); `None` keeps dead
+    /// backends dead for the run.
+    pub lb_retry_after_us: Option<u64>,
+    /// Balancer established-session stall timeout
+    /// ([`LoadBalancer::set_stall_timeout_us`]). Must exceed the
+    /// longest legitimate guest compute gap (a secure handshake's
+    /// SHA-1/KDF burst keeps the wire silent for hundreds of virtual
+    /// ms). `None` never stalls a session out.
+    pub lb_stall_timeout_us: Option<u64>,
 }
 
 impl FleetSpec {
@@ -379,6 +463,10 @@ impl FleetSpec {
             probe_gap_us: None,
             dead_links: Vec::new(),
             orders: Vec::new(),
+            faults: FaultPlan::new(),
+            dials: Vec::new(),
+            lb_retry_after_us: None,
+            lb_stall_timeout_us: None,
         }
     }
 }
@@ -399,6 +487,9 @@ pub struct BoardReport {
     /// Per-handle guest counters (secure firmware only; empty for
     /// plain echo).
     pub conns: Vec<ConnCounters>,
+    /// Guest alerts by reason code (secure firmware only; all zero for
+    /// plain echo) — see [`crate::secure::ALERT_KIND_LABELS`].
+    pub alert_kinds: [u16; 3],
     /// Serial console output.
     pub serial_tx: Vec<u8>,
 }
@@ -423,6 +514,110 @@ pub struct FleetRun {
     pub snapshot: String,
     /// Root code size of the shared firmware, in bytes.
     pub code_size: usize,
+    /// What the fault plan did: applied events, corrupted-frame count,
+    /// the failover-latency book, and wedge-time telemetry captures.
+    pub faults: FaultReport,
+}
+
+/// Applies a compiled [`FaultPlan`] to a running fleet: events fire at
+/// the first epoch boundary at or after their due time, in plan order.
+/// Application is a pure function of virtual time — engine- and
+/// visit-order-invariant.
+struct FaultDriver {
+    events: Vec<ScheduledFault>,
+    next: usize,
+    report: FaultReport,
+}
+
+impl FaultDriver {
+    fn new(plan: &FaultPlan, boards: usize) -> FaultDriver {
+        let events = plan.compiled();
+        for e in &events {
+            let b = match &e.event {
+                FaultEvent::SetDropRate { board, .. }
+                | FaultEvent::RestoreDropRate { board }
+                | FaultEvent::Wedge { board }
+                | FaultEvent::Resurrect { board }
+                | FaultEvent::StormStart { board, .. }
+                | FaultEvent::StormEnd { board } => *board,
+            };
+            assert!(b < boards, "fault plan names board {b} of {boards}");
+        }
+        FaultDriver {
+            events,
+            next: 0,
+            report: FaultReport::default(),
+        }
+    }
+
+    /// Due time of the next unapplied event — a fast-forward bound, so
+    /// a fleet-wide idle skip never jumps a fault.
+    fn next_due_us(&self) -> Option<u64> {
+        self.events.get(self.next).map(|e| e.at_us)
+    }
+
+    /// Applies every event due at or before the world's current time.
+    fn apply_due(
+        &mut self,
+        fleet: &mut Fleet,
+        world: &Rc<RefCell<World>>,
+        links: &[LinkId],
+        dead_links: &[usize],
+    ) {
+        let now = world.borrow().now();
+        while self.next < self.events.len() && self.events[self.next].at_us <= now {
+            let ev = self.events[self.next].clone();
+            self.next += 1;
+            let base = |board: &usize| if dead_links.contains(board) { 1.0 } else { 0.0 };
+            let what = match &ev.event {
+                FaultEvent::SetDropRate { board, rate } => {
+                    world.borrow_mut().set_drop_rate(links[*board], *rate);
+                    format!("flap board{board} drop_rate={rate}")
+                }
+                FaultEvent::RestoreDropRate { board } => {
+                    world.borrow_mut().set_drop_rate(links[*board], base(board));
+                    format!("restore board{board} drop_rate={}", base(board))
+                }
+                FaultEvent::Wedge { board } => {
+                    // Freeze the epochs AND black out the link: the
+                    // host-side TCP stack would otherwise answer SYNs
+                    // for the frozen board and hide the wedge from the
+                    // balancer's connect timeout.
+                    fleet.wedge(*board);
+                    world.borrow_mut().set_drop_rate(links[*board], 1.0);
+                    let snap = world.borrow().telemetry().snapshot().to_text();
+                    let prefix = format!("board{board}.net.board.");
+                    let frozen: String = snap
+                        .lines()
+                        .filter(|l| l.starts_with(&prefix))
+                        .map(|l| format!("{l}\n"))
+                        .collect();
+                    self.report.wedge_snapshots.push((*board, frozen));
+                    format!("wedge board{board}")
+                }
+                FaultEvent::Resurrect { board } => {
+                    fleet.resurrect(*board);
+                    world.borrow_mut().set_drop_rate(links[*board], base(board));
+                    format!("resurrect board{board}")
+                }
+                FaultEvent::StormStart { board, spec } => {
+                    world
+                        .borrow_mut()
+                        .set_corruption(links[*board], Some(spec.clone()));
+                    format!("storm board{board} armed")
+                }
+                FaultEvent::StormEnd { board } => {
+                    world.borrow_mut().set_corruption(links[*board], None);
+                    format!("storm board{board} cleared")
+                }
+            };
+            self.report.applied.push(AppliedFault {
+                at_us: ev.at_us,
+                applied_us: now,
+                what,
+            });
+        }
+    }
 }
 
 /// Runs `spec.boards` boards behind a simulated TCP load balancer
@@ -472,7 +667,10 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
     // (where the connect-timeout health check would misread a busy
     // board as a dead one).
     lb.set_max_inflight(Some(MAX_CONNS));
+    lb.set_retry_after_us(spec.lb_retry_after_us);
+    lb.set_stall_timeout_us(spec.lb_stall_timeout_us);
     let lb_ip = lb.host().ip();
+    let mut board_links: Vec<LinkId> = Vec::with_capacity(spec.boards);
     for i in 0..spec.boards {
         let link = if spec.dead_links.contains(&i) {
             LinkParams::ethernet_10base_t().with_drop_rate(1.0)
@@ -480,7 +678,7 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
             LinkParams::ethernet_10base_t()
         };
         let board_host = fleet.host(i).id();
-        world.borrow_mut().link(lb.host().id(), board_host, link);
+        board_links.push(world.borrow_mut().link(lb.host().id(), board_host, link));
         lb.add_backend(Endpoint::new(fleet.ip(i), port));
     }
 
@@ -504,12 +702,15 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
         }
     };
 
+    let mut faults = FaultDriver::new(&spec.faults, spec.boards);
+
     // Boot: every board's main seeds its state, configures serial + NIC,
     // and parks in idle().
     let mut boot_epochs = 0u64;
     loop {
         let order = order_at(&spec.orders, fleet.epochs());
         fleet.run_epoch(&order);
+        faults.apply_due(&mut fleet, &world, &board_links, &spec.dead_links);
         boot_epochs += 1;
         if fleet.all_parked() {
             break;
@@ -517,11 +718,18 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
         assert!(boot_epochs < 2_000, "fleet firmware boots");
     }
 
-    // Everyone dials the balancer's front address.
-    let conns: Vec<SocketId> = hosts
-        .iter_mut()
-        .map(|h| h.connect(Endpoint::new(lb_ip, port)))
-        .collect();
+    // Clients dial the balancer's front address at their scheduled
+    // times (everyone immediately, in the legacy no-dials shape).
+    assert!(
+        spec.dials.is_empty() || spec.dials.len() == spec.clients.len(),
+        "one dial time per client"
+    );
+    let dial_at: Vec<u64> = if spec.dials.is_empty() {
+        vec![0; spec.clients.len()]
+    } else {
+        spec.dials.clone()
+    };
+    let mut conns: Vec<Option<SocketId>> = vec![None; spec.clients.len()];
     let mut state = client_states(&spec.clients);
 
     const MAX_EPOCHS: u64 = 4_000_000; // 200 virtual seconds
@@ -529,13 +737,25 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
 
     let mut next_probe: Vec<u64> = vec![spec.probe_gap_us.unwrap_or(0); spec.boards];
 
-    while state.iter().any(|s| !s.done) {
+    loop {
+        {
+            let now = world.borrow().now();
+            for (i, conn) in conns.iter_mut().enumerate() {
+                if conn.is_none() && now >= dial_at[i] {
+                    *conn = Some(hosts[i].connect(Endpoint::new(lb_ip, port)));
+                }
+            }
+        }
+        if state.iter().all(|s| s.done) {
+            break;
+        }
         assert!(
             fleet.epochs() < MAX_EPOCHS,
             "fleet serve session did not converge"
         );
         let order = order_at(&spec.orders, fleet.epochs());
         fleet.run_epoch(&order);
+        faults.apply_due(&mut fleet, &world, &board_links, &spec.dead_links);
         lb.pump();
 
         if let Some(gap) = spec.probe_gap_us {
@@ -544,30 +764,52 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
             // on both engines and under any visit order.
             let now = world.borrow().now();
             for (i, due) in next_probe.iter_mut().enumerate() {
+                // A wedged board is parked but must not accumulate a
+                // backlog of probe bytes to replay on resurrection; its
+                // probe clock keeps ticking, it just skips the injects.
+                let wedged = fleet.state(i) == BoardState::Wedged;
                 if now >= *due && fleet.parked(i) {
-                    fleet.board_mut(i).serial_mut().inject(SERIAL_PROBE);
+                    if !wedged {
+                        fleet.board_mut(i).serial_mut().inject(SERIAL_PROBE);
+                    }
                     *due = now + gap;
                 }
             }
         }
 
-        for ((host, &conn), st) in hosts.iter_mut().zip(&conns).zip(state.iter_mut()) {
-            if !st.done {
-                step_client(host, conn, st);
+        for ((host, conn), st) in hosts.iter_mut().zip(&conns).zip(state.iter_mut()) {
+            if let Some(conn) = conn {
+                if !st.done {
+                    step_client(host, *conn, st);
+                }
             }
         }
 
-        // Fleet-wide idle skip, held short of the next probe due-time so
-        // the probe schedule is unaffected.
+        // Fleet-wide idle skip, held short of the next probe due-time,
+        // the next scheduled fault and the next client dial, so none of
+        // those schedules is disturbed.
         let mut bound = FF_CHUNK;
-        if spec.probe_gap_us.is_some() {
+        {
             let now = world.borrow().now();
-            let soonest = next_probe.iter().copied().min().unwrap_or(u64::MAX);
-            bound = if soonest > now {
-                bound.min((soonest - now) / EPOCH_US)
-            } else {
-                0
-            };
+            let mut soonest = u64::MAX;
+            if spec.probe_gap_us.is_some() {
+                soonest = soonest.min(next_probe.iter().copied().min().unwrap_or(u64::MAX));
+            }
+            if let Some(t) = faults.next_due_us() {
+                soonest = soonest.min(t);
+            }
+            for (i, conn) in conns.iter().enumerate() {
+                if conn.is_none() {
+                    soonest = soonest.min(dial_at[i]);
+                }
+            }
+            if soonest != u64::MAX {
+                bound = if soonest > now {
+                    bound.min((soonest - now) / EPOCH_US)
+                } else {
+                    0
+                };
+            }
         }
         if bound > 0 {
             fleet.fast_forward(bound);
@@ -575,10 +817,12 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
     }
 
     // Orderly teardown: FINs propagate through the balancer, the guests
-    // observe them and free their handles.
+    // observe them and free their handles. Late plan events (a
+    // resurrection scheduled past the last echo) still apply.
     for _ in 0..150 {
         let order = order_at(&spec.orders, fleet.epochs());
         fleet.run_epoch(&order);
+        faults.apply_due(&mut fleet, &world, &board_links, &spec.dead_links);
         lb.pump();
     }
 
@@ -601,6 +845,14 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
                     })
                     .collect(),
             };
+            let alert_kinds = match &spec.firmware {
+                FleetFirmware::PlainEcho => [0; 3],
+                FleetFirmware::SecureEcho { .. } => [
+                    read_arr(board, "_alert_kind", 0),
+                    read_arr(board, "_alert_kind", 1),
+                    read_arr(board, "_alert_kind", 2),
+                ],
+            };
             BoardReport {
                 label: format!("board{i}"),
                 cycles: board.cpu.cycles,
@@ -608,6 +860,7 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
                 accepts: read_arr(board, "_naccepts", 0),
                 open: read_arr(board, "_nopen", 0),
                 conns,
+                alert_kinds,
                 serial_tx: board.serial().transmitted().to_vec(),
             }
         })
@@ -631,12 +884,20 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
                     reg.counter(&format!("{}.{name}", r.label), &labels).add(v);
                 }
             }
+            if !r.conns.is_empty() {
+                for (kind, &v) in crate::secure::ALERT_KIND_LABELS.iter().zip(&r.alert_kinds) {
+                    reg.counter(&format!("{}.issl.guest.alerts.kind", r.label), &[("kind", *kind)])
+                        .add(u64::from(v));
+                }
+            }
         }
     }
 
     let snapshot = world.borrow().telemetry().snapshot().to_text();
     let virtual_us = world.borrow().now();
     let echoed_bytes = state.iter().map(|s| s.out.echoed.len() as u64).sum();
+    faults.report.corrupted_frames = world.borrow().stats.corrupted.get();
+    faults.report.failover_latencies_us = lb.failover_latencies_us().to_vec();
     FleetRun {
         outcomes: state.into_iter().map(|s| s.out).collect(),
         boards: reports,
@@ -646,7 +907,26 @@ pub fn fleet_serve(spec: &FleetSpec) -> FleetRun {
         echoed_bytes,
         snapshot,
         code_size: build.code_size(),
+        faults: faults.report,
     }
+}
+
+/// The fault-scripted fleet driver: [`fleet_serve`] under a non-empty
+/// [`FaultPlan`]. The separate entry point exists so fault scenarios
+/// read as what they are; the scheduling machinery is shared, and a
+/// plan-free spec is rejected rather than silently running a vanilla
+/// serve.
+///
+/// # Panics
+///
+/// If `spec.faults` is empty, a board's firmware faults, or the session
+/// does not converge.
+pub fn fleet_faults(spec: &FleetSpec) -> FleetRun {
+    assert!(
+        !spec.faults.is_empty(),
+        "fleet_faults wants a fault plan; use fleet_serve for fault-free runs"
+    );
+    fleet_serve(spec)
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 
 pub mod board;
 pub mod echo;
+pub mod faults;
 pub mod firmware;
 pub mod fleet;
 pub mod nic;
@@ -39,14 +40,15 @@ pub mod serial;
 pub mod serve;
 
 pub use board::{Board, BoardCounters, Rtc, RunOutcome};
+pub use faults::{AppliedFault, FaultEvent, FaultPlan, FaultReport, ScheduledFault};
 pub use fleet::{
-    fleet_serve, BackendStats, BoardReport, Fleet, FleetFirmware, FleetRun, FleetSpec, LbPolicy,
-    EPOCH_CYCLES, EPOCH_US,
+    fleet_faults, fleet_serve, BackendStats, BoardReport, BoardState, Fleet, FleetFirmware,
+    FleetRun, FleetSpec, LbPolicy, EPOCH_CYCLES, EPOCH_US,
 };
 pub use nic::{Nic, NicBackend, NicCounters, SimBackend, NIC_VECTOR};
 pub use secure::{
     build_secure_firmware, secure_serve, ClientOutcome, ConnCounters, GuestClient, SecureRun,
-    Tamper, SECURE_PORT,
+    Tamper, ALERT_KIND_LABELS, SECURE_PORT,
 };
 pub use serial::{SerialPort, SERIAL_A_VECTOR};
 pub use serve::{serve_clients, ServeRun, SERVE_PORT};

@@ -301,6 +301,7 @@ int hs_ok[@CONNS@];
 int rec_in[@CONNS@];
 int rec_out[@CONNS@];
 int alerts[@CONNS@];
+int alert_kind[3];
 int naccepts;
 int nopen;
 
@@ -334,6 +335,7 @@ void fail(int h, int w) {
     sstate[h] = 5;
     rxlen[h] = 0;
     alerts[h] = alerts[h] + 1;
+    alert_kind[w] = alert_kind[w] + 1;
 }
 
 int do_hello(int h, int blen) {
@@ -786,6 +788,13 @@ pub struct ConnCounters {
     pub alerts: u16,
 }
 
+/// Labels for the guest's per-kind alert counters, indexed by the
+/// firmware's `fail(h, w)` reason code: `w=0` the close alert (bad
+/// record type/length, MAC or padding damage — what link-layer
+/// corruption draws), `w=1` the unsupported-suite alert, `w=2` the
+/// bad-Finished alert (wrong credential).
+pub const ALERT_KIND_LABELS: [&str; 3] = ["close", "suite", "finished"];
+
 /// Result of one multi-client secure serving session.
 #[derive(Debug)]
 pub struct SecureRun {
@@ -793,6 +802,9 @@ pub struct SecureRun {
     pub outcomes: Vec<ClientOutcome>,
     /// Per-handle guest counters, read back from the C globals.
     pub conns: Vec<ConnCounters>,
+    /// Guest alerts by reason code, read back from the C `alert_kind`
+    /// array (see [`ALERT_KIND_LABELS`]).
+    pub alert_kinds: [u16; 3],
     /// Guest `naccepts` counter.
     pub accepts: u16,
     /// Guest `nopen` counter — 0 after an orderly teardown.
@@ -848,6 +860,7 @@ pub(crate) struct Cs {
     pub(crate) expected: usize,
     pub(crate) out: ClientOutcome,
     pub(crate) fin: bool,
+    pub(crate) reset: bool,
     pub(crate) done: bool,
 }
 
@@ -878,8 +891,15 @@ pub(crate) fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
                 Mode::Raw { .. } | Mode::HangUp { .. } => {}
             }
         }
-    } else if matches!(host.recv(conn, &mut [0u8; 1]), Recv::Closed | Recv::Reset) {
-        st.fin = true;
+    } else {
+        match host.recv(conn, &mut [0u8; 1]) {
+            Recv::Closed => st.fin = true,
+            Recv::Reset => {
+                st.fin = true;
+                st.reset = true;
+            }
+            _ => {}
+        }
     }
 
     match &mut st.mode {
@@ -953,8 +973,17 @@ pub(crate) fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
                 *closed = true;
             }
 
+            // A FIN/RST before the session ran its course (the balancer
+            // aborted a stalled session, or the backend died) terminates
+            // the client with a recorded error; a clean run sets `closed`
+            // or `peer_closed` before the FIN is ever observed.
+            if st.fin && !*closed && !st.out.peer_closed && st.out.error.is_none() {
+                st.out.error = Some(if st.reset { "Reset" } else { "EarlyClose" }.to_string());
+            }
             st.done = match tamper {
-                Tamper::None => *closed || st.out.error.is_some() || st.out.peer_closed,
+                Tamper::None => {
+                    *closed || st.out.error.is_some() || st.out.peer_closed || st.fin
+                }
                 Tamper::FlipDataMac => {
                     *tampered && (st.out.peer_closed || st.out.error.is_some() || st.fin)
                 }
@@ -978,7 +1007,17 @@ pub(crate) fn step_client(host: &mut SimHost, conn: SocketId, st: &mut Cs) {
                 host.close(conn);
                 *closed = true;
             }
-            st.done = *closed;
+            if st.fin && !*closed {
+                // The echo never completed and the server side is gone
+                // (stall abort or backend death): stop, with the cause.
+                if st.out.error.is_none() {
+                    st.out.error =
+                        Some(if st.reset { "Reset" } else { "EarlyClose" }.to_string());
+                }
+                st.done = true;
+            } else {
+                st.done = *closed;
+            }
         }
         Mode::Raw {
             payload,
@@ -1078,6 +1117,7 @@ pub(crate) fn client_states(clients: &[GuestClient]) -> Vec<Cs> {
                 msgs,
                 out: ClientOutcome::default(),
                 fin: false,
+                reset: false,
                 done: false,
             }
         })
@@ -1193,6 +1233,11 @@ pub fn secure_serve(
         .collect();
     let accepts = read_arr("_naccepts", 0);
     let open = read_arr("_nopen", 0);
+    let alert_kinds = [
+        read_arr("_alert_kind", 0),
+        read_arr("_alert_kind", 1),
+        read_arr("_alert_kind", 2),
+    ];
 
     // Publish the guest's counters into the shared registry so the
     // snapshot carries handshake/record/alert counts per handle.
@@ -1214,6 +1259,12 @@ pub fn secure_serve(
                 reg.alias_counter(&format!("board0.{name}"), &labels, &counter);
                 counter.add(v);
             }
+        }
+        for (kind, &v) in ALERT_KIND_LABELS.iter().zip(&alert_kinds) {
+            let labels = [("kind", *kind)];
+            let counter = reg.counter("issl.guest.alerts.kind", &labels);
+            reg.alias_counter("board0.issl.guest.alerts.kind", &labels, &counter);
+            counter.add(u64::from(v));
         }
     }
 
@@ -1247,6 +1298,7 @@ pub fn secure_serve(
     SecureRun {
         outcomes: state.into_iter().map(|s| s.out).collect(),
         conns: conn_counters,
+        alert_kinds,
         accepts,
         open,
         cycles: board.cpu.cycles,

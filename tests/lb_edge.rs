@@ -157,3 +157,62 @@ fn client_hanging_up_mid_handshake_frees_the_handle() {
         assert!(!be.dead, "a rude client is not a dead board");
     }
 }
+
+/// Regression for the balancer's dead-marking being a life sentence:
+/// with `retry_after_us` set, a backend marked dead is re-probed after
+/// the window, and a probe that establishes revives it. A scripted
+/// link outage blacks board 1 out long enough to get it dead-marked,
+/// then lifts; the next wave's probe brings the backend back into
+/// rotation.
+#[test]
+fn dead_backend_is_reprobed_and_revived_after_retry_window() {
+    use rmc2000::{fleet_faults, FaultEvent, FaultPlan};
+
+    let run = {
+        let mk = |engine: Engine| {
+            let clients = (0..4u8)
+                .map(|i| GuestClient::Plain {
+                    messages: vec![format!("probation client {i}").into_bytes()],
+                })
+                .collect();
+            let mut spec = FleetSpec::new(engine, 2, b"", clients);
+            spec.firmware = FleetFirmware::PlainEcho;
+            spec.policy = LbPolicy::LeastOpen;
+            // Board 1's link is black from boot; wave 1 gets it
+            // dead-marked via the connect timeout. The outage lifts at
+            // 100 ms; wave 2 dials after the 150 ms retry window.
+            spec.faults = FaultPlan::new()
+                .at(0, FaultEvent::SetDropRate { board: 1, rate: 1.0 })
+                .at(100_000, FaultEvent::RestoreDropRate { board: 1 });
+            spec.dials = vec![0, 0, 350_000, 350_000];
+            spec.lb_retry_after_us = Some(150_000);
+            spec
+        };
+        let a = fleet_faults(&mk(Engine::Interpreter));
+        let b = fleet_faults(&mk(Engine::BlockCache));
+        assert_eq!(a.outcomes, b.outcomes, "client transcripts agree");
+        assert_eq!(a.backends, b.backends, "balancer books agree");
+        assert_eq!(a.snapshot, b.snapshot, "telemetry snapshots agree");
+        a
+    };
+
+    for (i, out) in run.outcomes.iter().enumerate() {
+        assert!(out.established, "client {i} establishes");
+        assert_eq!(out.error, None, "client {i} clean");
+    }
+
+    // Wave 1: one client timed out against the black link and failed
+    // over; board 1 was dead-marked once.
+    let b1 = &run.backends[1];
+    assert!(b1.failures >= 1, "the outage was observed");
+    assert_eq!(run.faults.failover_latencies_us.len(), 1);
+    assert!(run.snapshot.contains("lb.dead_marks 1"));
+
+    // Wave 2: the retry window had elapsed, the probe connected, the
+    // backend revived and served again.
+    assert_eq!(b1.revivals, 1, "board 1 revived exactly once");
+    assert!(!b1.dead, "board 1 back in rotation");
+    assert!(b1.served >= 1, "board 1 served after revival");
+    assert!(run.boards[1].accepts >= 1, "a session landed post-revival");
+    assert!(run.snapshot.contains("lb.revivals 1"));
+}

@@ -137,3 +137,71 @@ fn handcrafted_unsupported_suite_hello_is_refused() {
     assert_eq!(run.accepts, 1);
     assert_eq!(run.open, 0);
 }
+
+/// Link-layer corruption — a byte flip on the wire, not a tampering
+/// client — draws exactly the same deterministic close alert as the
+/// host-side `FlipDataMac` tamper. A one-board fleet serves a
+/// well-behaved secure client through a link whose corruption storm
+/// flips the last byte (the MAC tail) of every data record; the
+/// guest's record layer must refuse the damaged record and close.
+#[test]
+fn link_layer_corruption_draws_the_same_alert_as_host_tamper() {
+    use netsim::Corruption;
+    use rmc2000::{fleet_faults, FaultPlan, FleetSpec};
+
+    let mk = |engine: Engine| {
+        let clients = vec![GuestClient::Secure {
+            messages: vec![b"over a dirty wire".to_vec()],
+            psk: PSK.to_vec(),
+            tamper: Tamper::None,
+        }];
+        let mut spec = FleetSpec::new(engine, 1, PSK, clients);
+        spec.probe_gap_us = Some(900);
+        // Always-on storm on the board's balancer link: every record
+        // whose first byte says "data" loses its MAC tail bit.
+        spec.faults = FaultPlan::new().storm(
+            0,
+            0,
+            100_000_000,
+            Corruption::mac_storm(recmap::REC_DATA),
+        );
+        spec
+    };
+    let a = fleet_faults(&mk(Engine::Interpreter));
+    let b = fleet_faults(&mk(Engine::BlockCache));
+    assert_eq!(a.outcomes, b.outcomes, "client outcomes agree");
+    assert_eq!(a.snapshot, b.snapshot, "telemetry snapshots agree");
+    assert_eq!(a.virtual_us, b.virtual_us, "virtual time agrees");
+    assert_eq!(
+        a.boards[0].cycles, b.boards[0].cycles,
+        "cycle counts agree"
+    );
+
+    // The handshake survives (its records are not data records); the
+    // first data record arrives damaged and the guest closes — the
+    // same observable as the host-side MAC flip in
+    // `wrong_psk_tampered_mac_and_truncation_each_draw_an_alert`.
+    let c0 = &a.outcomes[0];
+    assert!(c0.established, "handshake records pass the storm untouched");
+    assert!(c0.peer_closed, "guest alert closes the channel");
+    assert_eq!(c0.error, None);
+    assert!(c0.echoed.is_empty(), "damaged record is never echoed");
+    assert!(
+        c0.raw_rx.ends_with(&alert_rec(recmap::ALERT_CLOSE)),
+        "stream ends with the close alert: {:?}",
+        c0.raw_rx
+    );
+
+    // The damage is on the books at every layer: the link counted a
+    // corrupted frame, the guest counted one close-kind alert.
+    assert!(a.faults.corrupted_frames >= 1, "the link flipped a byte");
+    assert_eq!(a.boards[0].alert_kinds, [1, 0, 0], "one close alert");
+    let alerts: u16 = a.boards[0].conns.iter().map(|c| c.alerts).sum();
+    assert_eq!(alerts, 1);
+    let records_in: u16 = a.boards[0].conns.iter().map(|c| c.records_in).sum();
+    assert_eq!(records_in, 0, "the damaged record was never accepted");
+    assert!(
+        a.snapshot.contains("net.packets.corrupted"),
+        "corruption visible in telemetry"
+    );
+}
